@@ -1,0 +1,172 @@
+// Package main's bench suite regenerates every table and figure of the
+// paper's evaluation as testing.B benchmarks: one bench per experiment, each
+// reporting the headline numbers as custom metrics alongside time/op.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// (Each iteration runs a full experiment; -benchtime=1x gives one clean
+// pass. The default benchtime also works but repeats experiments.)
+package main
+
+import (
+	"io"
+	"testing"
+
+	"rfprotect/internal/experiments"
+)
+
+// benchSizes keeps bench iterations tractable while exercising the full
+// code path of every experiment; cmd/experiments -run all uses Full().
+func benchSizes() experiments.Sizes {
+	sz := experiments.Quick()
+	sz.TrajPerRoom = 6
+	return sz
+}
+
+// BenchmarkFig7MutualInformation regenerates the privacy curves of Fig. 7.
+func BenchmarkFig7MutualInformation(b *testing.B) {
+	var minMI float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7()
+		_, minMI = r.MinMI(len(r.Ms) - 1)
+	}
+	b.ReportMetric(minMI, "min-I(X;Z)-bits")
+}
+
+// BenchmarkFig9RadarLocalization regenerates the localization
+// microbenchmark of Fig. 9.
+func BenchmarkFig9RadarLocalization(b *testing.B) {
+	var med float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		med = r.Shapes[0].MedianError
+	}
+	b.ReportMetric(med*100, "median-err-cm")
+}
+
+// BenchmarkFig10RangeAngleProfiles regenerates the human-vs-ghost profile
+// comparison of Fig. 10a/b and the single-trajectory spoof of Fig. 10c.
+func BenchmarkFig10RangeAngleProfiles(b *testing.B) {
+	sz := benchSizes()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(sz, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.GhostPeak / r.HumanPeak
+	}
+	b.ReportMetric(ratio, "ghost/human-power")
+}
+
+// BenchmarkFig11Spoofing regenerates the 2-D spoofing accuracy CDFs of
+// Fig. 11a/b/c (home and office).
+func BenchmarkFig11Spoofing(b *testing.B) {
+	sz := benchSizes()
+	var home, office float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(sz, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		home = r.Envs[0].MedianLocation
+		office = r.Envs[1].MedianLocation
+	}
+	b.ReportMetric(home*100, "home-median-loc-cm")
+	b.ReportMetric(office*100, "office-median-loc-cm")
+}
+
+// BenchmarkFig12FID regenerates the normalized-FID comparison of Fig. 12
+// (right).
+func BenchmarkFig12FID(b *testing.B) {
+	sz := benchSizes()
+	var gan float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(sz, 3)
+		gan = r.NormalizedFID["GAN"]
+	}
+	b.ReportMetric(gan, "gan-normalized-fid")
+}
+
+// BenchmarkFig12GANSamples measures trajectory generation throughput
+// (Fig. 12 left's sample grids).
+func BenchmarkFig12GANSamples(b *testing.B) {
+	sz := benchSizes()
+	tr := experiments.TrainedGAN(sz, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Sample(10)
+	}
+}
+
+// BenchmarkTable1UserStudy regenerates the simulated user study of Table 1.
+func BenchmarkTable1UserStudy(b *testing.B) {
+	sz := benchSizes()
+	var p float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(sz, 4)
+		p = r.P
+	}
+	b.ReportMetric(p, "chi2-p-value")
+}
+
+// BenchmarkFig13LegitimateSensing regenerates the legitimate-sensing
+// demonstration of Fig. 13.
+func BenchmarkFig13LegitimateSensing(b *testing.B) {
+	var kept float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kept = float64(r.HumanTracksKept)
+	}
+	b.ReportMetric(kept, "human-tracks-kept")
+}
+
+// BenchmarkFig14BreathingSpoof regenerates the breathing-rate spoofing
+// comparison of Fig. 14.
+func BenchmarkFig14BreathingSpoof(b *testing.B) {
+	var ghostRate float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ghostRate = r.GhostRate
+	}
+	b.ReportMetric(ghostRate*60, "ghost-breaths/min")
+}
+
+// BenchmarkRunAll exercises the full dispatcher end to end (the cmd path).
+func BenchmarkRunAll(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full sweep")
+	}
+	sz := benchSizes()
+	sz.TrajPerRoom = 2
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run("all", sz, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablations documented in
+// EXPERIMENTS.md (speckle, square-wave harmonics, amplitude control).
+func BenchmarkAblations(b *testing.B) {
+	var withSpeckle float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablation(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withSpeckle = r.LocErrWithSpeckle
+	}
+	b.ReportMetric(withSpeckle*100, "office-loc-err-cm")
+}

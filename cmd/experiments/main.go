@@ -1,0 +1,39 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all            # every experiment at paper scale
+//	experiments -run fig11 -quick   # one experiment at test scale
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfprotect/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (fig7, fig9, fig10, fig11, fig12, fig13, fig14, table1, all)")
+	quick := flag.Bool("quick", false, "use the reduced test-scale configuration")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	sz := experiments.Full()
+	if *quick {
+		sz = experiments.Quick()
+	}
+	if err := experiments.Run(*run, sz, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

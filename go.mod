@@ -1,0 +1,3 @@
+module rfprotect
+
+go 1.22

@@ -1,0 +1,146 @@
+// Package core is the top of the RF-Protect stack: it wires the trajectory
+// generator (internal/gan over internal/motion) to the hardware tag
+// (internal/reflector), manages ghost deployments, and implements the
+// legitimate-sensor path (§11.3) that removes disclosed fake trajectories
+// from tracking output.
+//
+// A typical deployment:
+//
+//	sys, _ := core.New(core.Config{TagPosition: wall, TagAxis: 0, Seed: 1})
+//	sys.TrainGenerator(nil, 200)              // or sys.LoadGenerator(r)
+//	rec, _ := sys.DeployGhost(2, anchor, 0)   // class-2 ghost at t=0
+//	sc.Sources = append(sc.Sources, sys.Tag())
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/gan"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/motion"
+	"rfprotect/internal/reflector"
+)
+
+// Config assembles an RF-Protect system.
+type Config struct {
+	// TagPosition / TagAxis place the reflector panel in the world.
+	TagPosition geom.Point
+	TagAxis     float64
+	// Tag optionally overrides the full reflector configuration; when nil,
+	// reflector.DefaultConfig(TagPosition, TagAxis) is used.
+	Tag *reflector.Config
+	// GAN optionally overrides the generator configuration.
+	GAN *gan.Config
+	// CorpusSize is the size of the synthetic training corpus used when
+	// TrainGenerator is called with a nil dataset (default 2000).
+	CorpusSize int
+	// Seed drives all randomness in the system.
+	Seed int64
+}
+
+// System is a deployed RF-Protect instance.
+type System struct {
+	cfg     Config
+	tag     *reflector.Reflector
+	ctl     *reflector.Controller
+	trainer *gan.Trainer
+	rng     *rand.Rand
+}
+
+// New assembles the system (tag + untrained generator).
+func New(cfg Config) (*System, error) {
+	tagCfg := reflector.DefaultConfig(cfg.TagPosition, cfg.TagAxis)
+	if cfg.Tag != nil {
+		tagCfg = *cfg.Tag
+	}
+	tag, err := reflector.New(tagCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ganCfg := gan.DefaultConfig()
+	if cfg.GAN != nil {
+		ganCfg = *cfg.GAN
+	}
+	ganCfg.Seed = cfg.Seed + 1
+	if cfg.CorpusSize <= 0 {
+		cfg.CorpusSize = 2000
+	}
+	ds := motion.Generate(cfg.CorpusSize, cfg.Seed+2)
+	return &System{
+		cfg:     cfg,
+		tag:     tag,
+		ctl:     reflector.NewController(tag),
+		trainer: gan.NewTrainer(ganCfg, ds),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Tag returns the hardware reflector, which implements scene.ReturnSource.
+func (s *System) Tag() *reflector.Reflector { return s.tag }
+
+// Controller exposes the tag controller for advanced programming.
+func (s *System) Controller() *reflector.Controller { return s.ctl }
+
+// Trainer exposes the underlying GAN trainer.
+func (s *System) Trainer() *gan.Trainer { return s.trainer }
+
+// TrainGenerator trains the cGAN for the given number of steps on the
+// system's corpus (ds == nil) or a caller-provided dataset.
+func (s *System) TrainGenerator(ds *motion.Dataset, steps int) {
+	if ds != nil {
+		cfg := s.trainer.Cfg
+		s.trainer = gan.NewTrainer(cfg, *ds)
+	}
+	s.trainer.Train(steps, 0, nil)
+}
+
+// SaveGenerator / LoadGenerator persist the trained networks.
+func (s *System) SaveGenerator(w io.Writer) error { return s.trainer.Save(w) }
+
+// LoadGenerator restores networks saved by SaveGenerator.
+func (s *System) LoadGenerator(r io.Reader) error { return s.trainer.Load(r) }
+
+// SampleTrajectory draws one generated trajectory of the given range class
+// (0..motion.NumClasses-1), anchored at the origin.
+func (s *System) SampleTrajectory(class int) (geom.Trajectory, error) {
+	if class < 0 || class >= motion.NumClasses {
+		return nil, fmt.Errorf("core: class %d out of range [0, %d)", class, motion.NumClasses)
+	}
+	trs := s.trainer.G.Generate(1, class, s.rng)
+	return trs[0], nil
+}
+
+// DeployGhost samples a class trajectory, anchors its start at the given
+// point relative to the tag, and programs it radar-agnostically
+// (ProgramLocal). It returns the disclosure record.
+func (s *System) DeployGhost(class int, anchor geom.Point, start float64) (reflector.GhostRecord, error) {
+	tr, err := s.SampleTrajectory(class)
+	if err != nil {
+		return reflector.GhostRecord{}, err
+	}
+	return s.ctl.ProgramLocal(tr.Translate(anchor), motion.SampleRate, start)
+}
+
+// DeployGhostCalibrated anchors a sampled trajectory at a world position
+// and programs it against a known radar geometry (the evaluation setup).
+func (s *System) DeployGhostCalibrated(class int, anchor geom.Point, radar fmcw.Array, start float64) (reflector.GhostRecord, geom.Trajectory, error) {
+	tr, err := s.SampleTrajectory(class)
+	if err != nil {
+		return reflector.GhostRecord{}, nil, err
+	}
+	world := tr.Translate(anchor)
+	rec, err := s.ctl.ProgramForRadar(world, radar, motion.SampleRate, start)
+	return rec, world, err
+}
+
+// DeployBreathingGhost programs a stationary breathing phantom (§11.4).
+func (s *System) DeployBreathingGhost(antenna int, extraDistance, rate, amplitude, duration, start float64) (reflector.GhostRecord, error) {
+	return s.ctl.ProgramBreathing(antenna, extraDistance, rate, amplitude, duration, start)
+}
+
+// Disclosures returns the records of every deployed ghost, the information
+// shared with legitimate sensors.
+func (s *System) Disclosures() []reflector.GhostRecord { return s.ctl.Records() }

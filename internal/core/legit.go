@@ -1,0 +1,93 @@
+package core
+
+import (
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/radar"
+	"rfprotect/internal/reflector"
+)
+
+// LegitSensor is an authorized FMCW sensor that has received the tag's
+// calibration (antenna layout) and disclosure records, letting it remove
+// fake trajectories from its tracking output while eavesdroppers cannot
+// (§11.3, Fig. 13).
+type LegitSensor struct {
+	TagConfig reflector.Config
+	Radar     fmcw.Array
+	// MatchDistance is the mean track-to-disclosure distance (meters) below
+	// which a track is declared fake (default 0.75).
+	MatchDistance float64
+	// MinOverlap is the minimum fraction of a track's points that must fall
+	// inside a disclosure's time window to attempt a match (default 0.5).
+	MinOverlap float64
+}
+
+// NewLegitSensor returns a sensor with default matching thresholds.
+func NewLegitSensor(tagCfg reflector.Config, radarArr fmcw.Array) *LegitSensor {
+	return &LegitSensor{
+		TagConfig:     tagCfg,
+		Radar:         radarArr,
+		MatchDistance: 0.75,
+		MinOverlap:    0.5,
+	}
+}
+
+// expectedAt returns the disclosed ghost's expected observed position at
+// time t for switching harmonic n (the primary ghost is n = 1; the square
+// wave also images at n·Δd, which the sensor can predict from the same
+// disclosure), and whether t falls inside the session.
+func (l *LegitSensor) expectedAt(rec reflector.GhostRecord, t float64, n int) (geom.Point, bool) {
+	if t < rec.Start {
+		return geom.Point{}, false
+	}
+	i := int((t - rec.Start) / rec.Tick)
+	if i >= len(rec.Entries) {
+		return geom.Point{}, false
+	}
+	e := rec.Entries[i]
+	p := l.TagConfig.AntennaPosition(e.Antenna)
+	r := l.Radar.DistanceOf(p) + float64(n)*e.ExtraDistance
+	return l.Radar.PointAt(r, l.Radar.AoAOf(p)), true
+}
+
+// IsFake reports whether a track matches any disclosure record: enough of
+// its points overlap a session and their mean distance to the expected
+// ghost position is below MatchDistance.
+func (l *LegitSensor) IsFake(track *radar.Track, records []reflector.GhostRecord) bool {
+	for _, rec := range records {
+		// n=0 is the tag's own (static) reflection, n=1 the primary ghost,
+		// n>1 the square-wave harmonic images — all predictable from the
+		// disclosure plus the tag calibration.
+		for n := 0; n <= 3; n++ {
+			overlap := 0
+			sum := 0.0
+			for _, tp := range track.Points {
+				want, ok := l.expectedAt(rec, tp.Time, n)
+				if !ok {
+					continue
+				}
+				overlap++
+				sum += tp.Pos.Dist(want)
+			}
+			if overlap == 0 || float64(overlap) < l.MinOverlap*float64(len(track.Points)) {
+				continue
+			}
+			if sum/float64(overlap) <= l.MatchDistance {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Filter splits tracks into genuine human tracks and disclosed ghosts.
+func (l *LegitSensor) Filter(tracks []*radar.Track, records []reflector.GhostRecord) (humans, ghosts []*radar.Track) {
+	for _, t := range tracks {
+		if l.IsFake(t, records) {
+			ghosts = append(ghosts, t)
+		} else {
+			humans = append(humans, t)
+		}
+	}
+	return humans, ghosts
+}

@@ -1,0 +1,204 @@
+// Package dsp provides the signal-processing substrate used throughout the
+// RF-Protect reproduction: FFTs, window functions, peak detection, smoothing,
+// phase utilities, basic statistics, and the small dense-linear-algebra
+// kernels (symmetric eigendecomposition, SPD matrix square root) needed by
+// the FID metric.
+//
+// Everything operates on float64 / complex128 slices and is allocation-
+// conscious: hot paths accept destination buffers where it matters.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n. It panics for n <= 0.
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPowerOfTwo requires n > 0")
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// FFT computes the in-place-free discrete Fourier transform of x and returns
+// a new slice. Power-of-two lengths use an iterative radix-2
+// Cooley–Tukey; all other lengths use Bluestein's algorithm, so any length
+// is supported. The zero-length input returns an empty slice.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT computes the inverse DFT of x (with 1/N normalization) and returns a
+// new slice.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	return out
+}
+
+// FFTInPlace transforms x in place. Non-power-of-two lengths still allocate
+// scratch internally (Bluestein).
+func FFTInPlace(x []complex128) { fftInPlace(x, false) }
+
+// IFFTInPlace inverse-transforms x in place with 1/N normalization.
+func IFFTInPlace(x []complex128) { fftInPlace(x, true) }
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if IsPowerOfTwo(n) {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		inv := 1 / float64(n)
+		for i := range x {
+			x[i] *= complex(inv, 0)
+		}
+	}
+}
+
+// radix2 is an iterative decimation-in-time FFT for power-of-two lengths.
+// When inverse is true the twiddle sign is flipped; normalization is left to
+// the caller.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, using two
+// power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign * i*pi*k^2/n)
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k^2 mod 2n avoids precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	m := NextPowerOfTwo(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * w[k]
+	}
+}
+
+// FFTShift rotates the spectrum so the zero-frequency bin is centered,
+// returning a new slice (matching the conventional fftshift).
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// Magnitude returns |x| element-wise.
+func Magnitude(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// Power returns |x|^2 element-wise.
+func Power(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return out
+}
+
+// PowerDB returns 10*log10(|x|^2 + eps) element-wise. eps guards log(0).
+func PowerDB(x []complex128, eps float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		out[i] = 10 * math.Log10(p+eps)
+	}
+	return out
+}
+
+// BinFrequency returns the frequency (Hz) of FFT bin k for an N-point
+// transform at sample rate fs, mapping bins above N/2 to negative
+// frequencies.
+func BinFrequency(k, n int, fs float64) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("dsp: BinFrequency with n=%d", n))
+	}
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	if k <= n/2 {
+		return float64(k) * fs / float64(n)
+	}
+	return float64(k-n) * fs / float64(n)
+}

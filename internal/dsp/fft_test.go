@@ -1,0 +1,206 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqualC(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+// naiveDFT is the O(n^2) reference used to validate the FFT.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			s += x[t] * cmplx.Exp(complex(0, sign*2*math.Pi*float64(k)*float64(t)/float64(n)))
+		}
+		if inverse {
+			s /= complex(float64(n), 0)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 32, 100, 128, 257} {
+		x := randComplex(rng, n)
+		got := FFT(x)
+		want := naiveDFT(x, false)
+		for i := range got {
+			if !almostEqualC(got[i], want[i], 1e-8*float64(n)) {
+				t.Fatalf("n=%d bin %d: got %v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 8, 15, 64, 129} {
+		x := randComplex(rng, n)
+		y := IFFT(FFT(x))
+		for i := range x {
+			if !almostEqualC(x[i], y[i], 1e-9*float64(n)) {
+				t.Fatalf("n=%d index %d: got %v want %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 << (uint(r.Intn(3)))
+		x := randComplex(r, n)
+		y := randComplex(r, n)
+		a := complex(r.NormFloat64(), r.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		fx, fy, fsum := FFT(x), FFT(y), FFT(sum)
+		for i := range fsum {
+			if !almostEqualC(fsum[i], a*fx[i]+fy[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 16 + r.Intn(50) // exercises Bluestein path for non-powers of two
+		x := randComplex(r, n)
+		fx := FFT(x)
+		var et, ef float64
+		for i := range x {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(fx[i])*real(fx[i]) + imag(fx[i])*imag(fx[i])
+		}
+		return math.Abs(et-ef/float64(n)) < 1e-7*et
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTSingleToneBin(t *testing.T) {
+	const n = 256
+	const bin = 37
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(bin)*float64(i)/float64(n)))
+	}
+	fx := FFT(x)
+	mag := Magnitude(fx)
+	best, bestVal := 0, 0.0
+	for i, v := range mag {
+		if v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	if best != bin {
+		t.Fatalf("tone at bin %d detected at %d", bin, best)
+	}
+	if math.Abs(bestVal-float64(n)) > 1e-6 {
+		t.Fatalf("tone magnitude %v, want %v", bestVal, n)
+	}
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	got := FFTShift(x)
+	want := []complex128{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	odd := []complex128{0, 1, 2, 3, 4}
+	gotOdd := FFTShift(odd)
+	wantOdd := []complex128{3, 4, 0, 1, 2}
+	for i := range wantOdd {
+		if gotOdd[i] != wantOdd[i] {
+			t.Fatalf("odd: got %v want %v", gotOdd, wantOdd)
+		}
+	}
+}
+
+func TestBinFrequency(t *testing.T) {
+	const n = 8
+	const fs = 8000.0
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, 0}, {1, 1000}, {4, 4000}, {5, -3000}, {7, -1000}, {-1, -1000}, {9, 1000},
+	}
+	for _, c := range cases {
+		if got := BinFrequency(c.k, n, fs); got != c.want {
+			t.Errorf("BinFrequency(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestMagnitudePowerDB(t *testing.T) {
+	x := []complex128{3 + 4i, 0}
+	if m := Magnitude(x); m[0] != 5 || m[1] != 0 {
+		t.Fatalf("Magnitude = %v", m)
+	}
+	if p := Power(x); p[0] != 25 || p[1] != 0 {
+		t.Fatalf("Power = %v", p)
+	}
+	db := PowerDB(x, 1e-12)
+	if math.Abs(db[0]-10*math.Log10(25)) > 1e-9 {
+		t.Fatalf("PowerDB[0] = %v", db[0])
+	}
+	if db[1] != 10*math.Log10(1e-12) {
+		t.Fatalf("PowerDB[1] = %v", db[1])
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := randComplex(rng, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFTInPlace(x)
+	}
+}

@@ -1,0 +1,204 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float64 matrix. The zero value is unusable;
+// construct with NewMatrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dsp: NewMatrix(%d, %d)", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Add returns m + b as a new matrix. It panics on shape mismatch.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	m.mustSameShape(b)
+	out := m.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// Sub returns m - b as a new matrix. It panics on shape mismatch.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	m.mustSameShape(b)
+	out := m.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s*m as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// Mul returns the matrix product m·b. It panics if the inner dimensions
+// disagree.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("dsp: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			row := b.Data[k*b.Cols : (k+1)*b.Cols]
+			outRow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, v := range row {
+				outRow[j] += a * v
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of the diagonal. It panics for non-square matrices.
+func (m *Matrix) Trace() float64 {
+	if m.Rows != m.Cols {
+		panic("dsp: Trace of non-square matrix")
+	}
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s += m.Data[i*m.Cols+i]
+	}
+	return s
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+func (m *Matrix) mustSameShape(b *Matrix) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("dsp: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+}
+
+// SymEigen computes the eigendecomposition of a symmetric matrix with the
+// cyclic Jacobi method, returning eigenvalues and the matrix whose columns
+// are the corresponding eigenvectors (A = V·diag(w)·Vᵀ). The input is not
+// modified. It panics for non-square input.
+func SymEigen(a *Matrix) (eigenvalues []float64, eigenvectors *Matrix) {
+	if a.Rows != a.Cols {
+		panic("dsp: SymEigen of non-square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-30 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Rotate rows/columns p and q.
+				for k := 0; k < n; k++ {
+					mkp, mkq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*mkp-s*mkq)
+					m.Set(k, q, s*mkp+c*mkq)
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*mpk-s*mqk)
+					m.Set(q, k, s*mpk+c*mqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = m.At(i, i)
+	}
+	return w, v
+}
+
+// SqrtSPD returns the principal square root of a symmetric positive
+// semi-definite matrix via its eigendecomposition. Small negative
+// eigenvalues caused by round-off are clamped to zero.
+func SqrtSPD(a *Matrix) *Matrix {
+	w, v := SymEigen(a)
+	n := a.Rows
+	d := NewMatrix(n, n)
+	for i, lam := range w {
+		if lam < 0 {
+			lam = 0
+		}
+		d.Set(i, i, math.Sqrt(lam))
+	}
+	return v.Mul(d).Mul(v.Transpose())
+}

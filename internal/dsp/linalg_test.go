@@ -1,0 +1,145 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSym(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func randSPD(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a.Mul(a.Transpose()) // A·Aᵀ is PSD; add εI to make it PD.
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	d := 0.0
+	for i := range a.Data {
+		v := math.Abs(a.Data[i] - b.Data[i])
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randSym(rng, 5)
+	if d := maxAbsDiff(a.Mul(Identity(5)), a); d > 1e-12 {
+		t.Fatalf("A·I != A, diff %v", d)
+	}
+	if d := maxAbsDiff(Identity(5).Mul(a), a); d > 1e-12 {
+		t.Fatalf("I·A != A, diff %v", d)
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := a.Transpose()
+	if b.Rows != 3 || b.Cols != 2 || b.At(0, 1) != 4 || b.At(2, 0) != 3 {
+		t.Fatalf("Transpose wrong: %+v", b)
+	}
+	p := a.Mul(b) // 2x2
+	want := [][]float64{{14, 32}, {32, 77}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("Mul(%d,%d) = %v want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+	if tr := p.Trace(); tr != 91 {
+		t.Fatalf("Trace = %v want 91", tr)
+	}
+	s := a.Scale(2)
+	if s.At(1, 2) != 12 {
+		t.Fatalf("Scale wrong")
+	}
+	sum := a.Add(a).Sub(a)
+	if d := maxAbsDiff(sum, a); d != 0 {
+		t.Fatalf("Add/Sub roundtrip diff %v", d)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5, 8, 12} {
+		a := randSym(rng, n)
+		w, v := SymEigen(a)
+		d := NewMatrix(n, n)
+		for i, lam := range w {
+			d.Set(i, i, lam)
+		}
+		rec := v.Mul(d).Mul(v.Transpose())
+		if diff := maxAbsDiff(rec, a); diff > 1e-8 {
+			t.Fatalf("n=%d reconstruction diff %v", n, diff)
+		}
+		// Eigenvectors orthonormal: VᵀV = I.
+		vtv := v.Transpose().Mul(v)
+		if diff := maxAbsDiff(vtv, Identity(n)); diff > 1e-8 {
+			t.Fatalf("n=%d VᵀV not identity, diff %v", n, diff)
+		}
+	}
+}
+
+func TestSymEigenKnownValues(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{2, 1, 1, 2})
+	w, _ := SymEigen(a)
+	lo, hi := math.Min(w[0], w[1]), math.Max(w[0], w[1])
+	if math.Abs(lo-1) > 1e-10 || math.Abs(hi-3) > 1e-10 {
+		t.Fatalf("eigenvalues %v, want [1 3]", w)
+	}
+}
+
+func TestSqrtSPDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randSPD(rng, n)
+		s := SqrtSPD(a)
+		return maxAbsDiff(s.Mul(s), a) < 1e-7*(1+a.Trace())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCovarianceMatrix(t *testing.T) {
+	xs := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	cov := CovarianceMatrix(xs)
+	// Both dims have variance 4 (sample, n-1) and covariance 4.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(cov.At(i, j)-4) > 1e-12 {
+				t.Fatalf("cov(%d,%d) = %v want 4", i, j, cov.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMeanVec(t *testing.T) {
+	xs := [][]float64{{1, 10}, {3, 20}}
+	mu := MeanVec(xs)
+	if mu[0] != 2 || mu[1] != 15 {
+		t.Fatalf("MeanVec = %v", mu)
+	}
+}

@@ -1,0 +1,160 @@
+package dsp
+
+import "sort"
+
+// Peak is a detected local maximum in a 1-D series.
+type Peak struct {
+	Index int     // sample index of the maximum
+	Value float64 // value at the maximum
+}
+
+// FindPeaks returns local maxima of x whose value is at least minValue and
+// that are separated from any larger already-accepted peak by at least
+// minDistance samples. Peaks are returned sorted by descending value.
+// Plateau maxima report their first index.
+func FindPeaks(x []float64, minValue float64, minDistance int) []Peak {
+	if minDistance < 1 {
+		minDistance = 1
+	}
+	var cands []Peak
+	n := len(x)
+	for i := 0; i < n; i++ {
+		v := x[i]
+		if v < minValue {
+			continue
+		}
+		// Require a strict rise into the peak; for plateaus this keeps only
+		// the first index.
+		if i > 0 && x[i-1] >= v {
+			continue
+		}
+		if i+1 < n && x[i+1] > v {
+			continue
+		}
+		cands = append(cands, Peak{Index: i, Value: v})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Value != cands[b].Value {
+			return cands[a].Value > cands[b].Value
+		}
+		return cands[a].Index < cands[b].Index
+	})
+	var out []Peak
+	for _, c := range cands {
+		ok := true
+		for _, p := range out {
+			d := c.Index - p.Index
+			if d < 0 {
+				d = -d
+			}
+			if d < minDistance {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Peak2D is a detected local maximum in a 2-D grid.
+type Peak2D struct {
+	Row, Col int
+	Value    float64
+}
+
+// FindPeaks2D returns local maxima of the rows×cols grid g (row-major) with
+// value >= minValue, enforcing a Chebyshev separation of minDistance cells
+// against larger accepted peaks. A cell is a local maximum if no 8-neighbor
+// exceeds it.
+func FindPeaks2D(g []float64, rows, cols int, minValue float64, minDistance int) []Peak2D {
+	if minDistance < 1 {
+		minDistance = 1
+	}
+	var cands []Peak2D
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := g[r*cols+c]
+			if v < minValue {
+				continue
+			}
+			isMax := true
+			for dr := -1; dr <= 1 && isMax; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					if dr == 0 && dc == 0 {
+						continue
+					}
+					nr, nc := r+dr, c+dc
+					if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+						continue
+					}
+					if g[nr*cols+nc] > v {
+						isMax = false
+						break
+					}
+				}
+			}
+			if isMax {
+				cands = append(cands, Peak2D{Row: r, Col: c, Value: v})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Value != cands[b].Value {
+			return cands[a].Value > cands[b].Value
+		}
+		if cands[a].Row != cands[b].Row {
+			return cands[a].Row < cands[b].Row
+		}
+		return cands[a].Col < cands[b].Col
+	})
+	var out []Peak2D
+	for _, cd := range cands {
+		ok := true
+		for _, p := range out {
+			dr := cd.Row - p.Row
+			if dr < 0 {
+				dr = -dr
+			}
+			dc := cd.Col - p.Col
+			if dc < 0 {
+				dc = -dc
+			}
+			cheb := dr
+			if dc > cheb {
+				cheb = dc
+			}
+			if cheb < minDistance {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, cd)
+		}
+	}
+	return out
+}
+
+// QuadraticInterp refines the location of a peak at integer index i of x by
+// fitting a parabola through (i-1, i, i+1). It returns the fractional index
+// offset in [-0.5, 0.5]; boundary peaks return 0.
+func QuadraticInterp(x []float64, i int) float64 {
+	if i <= 0 || i >= len(x)-1 {
+		return 0
+	}
+	a, b, c := x[i-1], x[i], x[i+1]
+	den := a - 2*b + c
+	if den == 0 {
+		return 0
+	}
+	off := 0.5 * (a - c) / den
+	if off > 0.5 {
+		off = 0.5
+	} else if off < -0.5 {
+		off = -0.5
+	}
+	return off
+}

@@ -1,0 +1,80 @@
+package dsp
+
+import "sort"
+
+// MovingAverage returns the centered moving average of x with the given odd
+// window size. Edges use the available (shorter) window. window < 1 is
+// treated as 1.
+func MovingAverage(x []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	half := window / 2
+	out := make([]float64, len(x))
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(x) {
+			hi = len(x) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += x[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// MedianFilter returns the centered running median of x with the given odd
+// window size, shrinking the window at the edges.
+func MedianFilter(x []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	half := window / 2
+	out := make([]float64, len(x))
+	buf := make([]float64, 0, window)
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(x) {
+			hi = len(x) - 1
+		}
+		buf = buf[:0]
+		buf = append(buf, x[lo:hi+1]...)
+		sort.Float64s(buf)
+		n := len(buf)
+		if n%2 == 1 {
+			out[i] = buf[n/2]
+		} else {
+			out[i] = 0.5 * (buf[n/2-1] + buf[n/2])
+		}
+	}
+	return out
+}
+
+// ExponentialSmoothing returns the exponentially weighted series
+// y[0]=x[0], y[i]=alpha*x[i]+(1-alpha)*y[i-1]. alpha is clamped to (0, 1].
+func ExponentialSmoothing(x []float64, alpha float64) []float64 {
+	if alpha <= 0 {
+		alpha = 1e-9
+	} else if alpha > 1 {
+		alpha = 1
+	}
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	out[0] = x[0]
+	for i := 1; i < len(x); i++ {
+		out[i] = alpha*x[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}

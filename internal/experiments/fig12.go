@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rfprotect/internal/geom"
+	"rfprotect/internal/metrics"
+	"rfprotect/internal/motion"
+)
+
+// Fig12Result holds the cGAN realism evaluation: sample trajectories
+// (Fig. 12 left) and normalized FID scores for the candidate trajectory
+// families (Fig. 12 right; paper: Real 1.0, GAN 1.229, SingleTraj 1.867,
+// ULM 2.022, Random 3.440).
+type Fig12Result struct {
+	RealSamples []geom.Trajectory
+	GANSamples  []geom.Trajectory
+	// NormalizedFID maps family name to score; "Real" is 1 by construction.
+	NormalizedFID map[string]float64
+	Order         []string
+}
+
+// Fig12 trains (or reuses) the cGAN and scores all families against a real
+// reference split.
+func Fig12(sz Sizes, seed int64) Fig12Result {
+	tr := TrainedGAN(sz, seed)
+	ds := motion.Generate(sz.CorpusSize, seed+1000) // held-out real corpus
+	a, b := ds.Split()
+
+	n := sz.GANSamples
+	ganTraces := tr.Sample(n)
+	single := motion.SingleTraj(n, seed+1)
+	ulm := motion.ULM(n, seed+2)
+	random := motion.RandomWalk(n, seed+3)
+
+	res := Fig12Result{
+		NormalizedFID: map[string]float64{},
+		Order:         []string{"Real", "GAN", "SingleTraj", "ULM", "Random"},
+	}
+	res.RealSamples = a.Traces[:min(5, len(a.Traces))]
+	res.GANSamples = ganTraces[:min(5, len(ganTraces))]
+
+	base := metrics.TrajectoryFID(a.Traces, b.Traces)
+	score := func(c []geom.Trajectory) float64 {
+		return metrics.TrajectoryFID(c, b.Traces) / base
+	}
+	res.NormalizedFID["Real"] = 1.0
+	res.NormalizedFID["GAN"] = score(ganTraces)
+	res.NormalizedFID["SingleTraj"] = score(single)
+	res.NormalizedFID["ULM"] = score(ulm)
+	res.NormalizedFID["Random"] = score(random)
+	return res
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Print renders the normalized FID bar data.
+func (r Fig12Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 12 (right): normalized FID vs real trajectories")
+	for _, name := range r.Order {
+		fmt.Fprintf(w, "  %-10s  %.3f\n", name, r.NormalizedFID[name])
+	}
+	fmt.Fprintf(w, "  (%d real / %d GAN sample trajectories retained for Fig 12 left)\n",
+		len(r.RealSamples), len(r.GANSamples))
+}

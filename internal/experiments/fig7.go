@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rfprotect/internal/privacy"
+)
+
+// Fig7Result holds the mutual-information curves of Fig. 7: I(X;Z) versus
+// the phantom probability q, one curve per maximum phantom count M, for a
+// home with N = 4 occupants and p = 0.2.
+type Fig7Result struct {
+	N  int
+	P  float64
+	Ms []int
+	Qs []float64
+	// MI[i][j] is I(X;Z) for Ms[i] at Qs[j], in bits.
+	MI [][]float64
+	// EntropyX is H(X), the q=0 / q=1 asymptote.
+	EntropyX float64
+}
+
+// Fig7 computes the mutual-information privacy analysis of §7.
+func Fig7() Fig7Result {
+	res := Fig7Result{
+		N:  4,
+		P:  0.2,
+		Ms: []int{2, 4, 6, 8},
+	}
+	for i := 0; i <= 20; i++ {
+		res.Qs = append(res.Qs, float64(i)/20)
+	}
+	base := privacy.Model{N: res.N, P: res.P}
+	res.EntropyX = base.EntropyX()
+	for _, m := range res.Ms {
+		model := privacy.Model{N: res.N, P: res.P, M: m}
+		res.MI = append(res.MI, model.MISweep(res.Qs))
+	}
+	return res
+}
+
+// MinMI returns the minimum of the curve for Ms[i] and the q at which it
+// occurs.
+func (r Fig7Result) MinMI(i int) (q, mi float64) {
+	mi = r.MI[i][0]
+	q = r.Qs[0]
+	for j, v := range r.MI[i] {
+		if v < mi {
+			mi, q = v, r.Qs[j]
+		}
+	}
+	return q, mi
+}
+
+// Print renders the curves as columns.
+func (r Fig7Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig 7: I(X;Z) vs q (N=%d, p=%.2f, H(X)=%.3f bits)\n", r.N, r.P, r.EntropyX)
+	fmt.Fprintf(w, "%6s", "q")
+	for _, m := range r.Ms {
+		fmt.Fprintf(w, "  M=%-5d", m)
+	}
+	fmt.Fprintln(w)
+	for j, q := range r.Qs {
+		fmt.Fprintf(w, "%6.2f", q)
+		for i := range r.Ms {
+			fmt.Fprintf(w, "  %-7.4f", r.MI[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	for i, m := range r.Ms {
+		q, mi := r.MinMI(i)
+		fmt.Fprintf(w, "M=%d: min I(X;Z) = %.4f bits at q = %.2f\n", m, mi, q)
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestFloorPlanRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the shared cGAN")
+	}
+	r, err := FloorPlan(Quick(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total == 0 {
+		t.Fatal("no trajectories evaluated")
+	}
+	if r.CrossingBefore == 0 {
+		t.Fatal("expected some raw phantoms to cross walls (the motivation for §8)")
+	}
+	if r.CrossingAfter != 0 {
+		t.Fatalf("%d trajectories still cross walls after repair", r.CrossingAfter)
+	}
+	// Repair must not destroy realism: FID within 2x of the raw value (it
+	// often improves because detours look like purposeful walking).
+	if r.FIDAfter > 2*r.FIDBefore+1 {
+		t.Fatalf("repair wrecked realism: FID %v -> %v", r.FIDBefore, r.FIDAfter)
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one named experiment and prints its report to w.
+type Runner func(sz Sizes, seed int64, w io.Writer) error
+
+// Registry maps experiment names (fig7, fig9, ..., table1) to runners.
+var Registry = map[string]Runner{
+	"fig7": func(sz Sizes, seed int64, w io.Writer) error {
+		Fig7().Print(w)
+		return nil
+	},
+	"fig9": func(sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig9(seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
+	"fig10": func(sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig10(sz, seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
+	"fig11": func(sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig11(sz, seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
+	"fig12": func(sz Sizes, seed int64, w io.Writer) error {
+		Fig12(sz, seed).Print(w)
+		return nil
+	},
+	"table1": func(sz Sizes, seed int64, w io.Writer) error {
+		Table1(sz, seed).Print(w)
+		return nil
+	},
+	"fig13": func(sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig13(seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
+	"fig14": func(sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig14(seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
+	"ablation": func(sz Sizes, seed int64, w io.Writer) error {
+		r, err := Ablation(seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
+	"probe": func(sz Sizes, seed int64, w io.Writer) error {
+		r, err := Probe(seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
+	"floorplan": func(sz Sizes, seed int64, w io.Writer) error {
+		r, err := FloorPlan(sz, seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
+	"multiradar": func(sz Sizes, seed int64, w io.Writer) error {
+		r, err := MultiRadar(seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
+}
+
+// Names returns the registered experiment names in order.
+func Names() []string {
+	var out []string
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name, or all of them for name == "all".
+func Run(name string, sz Sizes, seed int64, w io.Writer) error {
+	if name == "all" {
+		for _, n := range Names() {
+			fmt.Fprintf(w, "==== %s ====\n", n)
+			if err := Registry[n](sz, seed, w); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (have %v)", name, Names())
+	}
+	return r(sz, seed, w)
+}

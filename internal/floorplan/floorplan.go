@@ -1,0 +1,371 @@
+// Package floorplan implements the §8 "Incorporating Floor Plan
+// Information" extension: RF-Protect's generated phantoms should not walk
+// through walls, or an eavesdropper with a floor plan could flag them. The
+// package provides wall geometry with segment-intersection tests, an A*
+// grid router that plans around walls and through doors, and trajectory
+// validation/repair for generated ghosts.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"rfprotect/internal/geom"
+)
+
+// Wall is an impassable line segment.
+type Wall struct {
+	A, B geom.Point
+}
+
+// Plan is a floor plan: a bounding rectangle plus interior walls. Door
+// openings are simply gaps between wall segments.
+type Plan struct {
+	Width, Height float64
+	Walls         []Wall
+}
+
+// Apartment returns a demo floor plan: a 10×6.6 m unit split into two rooms
+// and a bottom corridor, with door gaps connecting everything.
+func Apartment() Plan {
+	return Plan{
+		Width:  10,
+		Height: 6.6,
+		Walls: []Wall{
+			// Horizontal wall separating the corridor (y<2) from the rooms,
+			// with a door gap at x in (4.2, 5.2).
+			{A: geom.Point{X: 0, Y: 2}, B: geom.Point{X: 4.2, Y: 2}},
+			{A: geom.Point{X: 5.2, Y: 2}, B: geom.Point{X: 10, Y: 2}},
+			// Vertical wall splitting the two rooms, door gap at y in (4.4, 5.4).
+			{A: geom.Point{X: 5, Y: 2}, B: geom.Point{X: 5, Y: 4.4}},
+			{A: geom.Point{X: 5, Y: 5.4}, B: geom.Point{X: 5, Y: 6.6}},
+		},
+	}
+}
+
+// Contains reports whether p lies inside the plan's bounding rectangle.
+func (pl Plan) Contains(p geom.Point) bool {
+	return p.X >= 0 && p.X <= pl.Width && p.Y >= 0 && p.Y <= pl.Height
+}
+
+// segmentsIntersect reports proper or touching intersection of segments
+// (p1,p2) and (q1,q2).
+func segmentsIntersect(p1, p2, q1, q2 geom.Point) bool {
+	d1 := direction(q1, q2, p1)
+	d2 := direction(q1, q2, p2)
+	d3 := direction(p1, p2, q1)
+	d4 := direction(p1, p2, q2)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSegment(q1, q2, p1)) ||
+		(d2 == 0 && onSegment(q1, q2, p2)) ||
+		(d3 == 0 && onSegment(p1, p2, q1)) ||
+		(d4 == 0 && onSegment(p1, p2, q2))
+}
+
+func direction(a, b, c geom.Point) float64 {
+	return b.Sub(a).Cross(c.Sub(a))
+}
+
+func onSegment(a, b, p geom.Point) bool {
+	return math.Min(a.X, b.X)-1e-12 <= p.X && p.X <= math.Max(a.X, b.X)+1e-12 &&
+		math.Min(a.Y, b.Y)-1e-12 <= p.Y && p.Y <= math.Max(a.Y, b.Y)+1e-12
+}
+
+// Blocked reports whether moving from a to b crosses any wall.
+func (pl Plan) Blocked(a, b geom.Point) bool {
+	for _, w := range pl.Walls {
+		if segmentsIntersect(a, b, w.A, w.B) {
+			return true
+		}
+	}
+	return false
+}
+
+// CrossingCount returns the number of trajectory steps that pass through a
+// wall — the quantity an eavesdropper with a floor plan would audit.
+func (pl Plan) CrossingCount(t geom.Trajectory) int {
+	n := 0
+	for i := 1; i < len(t); i++ {
+		if pl.Blocked(t[i-1], t[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Valid reports whether a trajectory never crosses a wall and stays in
+// bounds.
+func (pl Plan) Valid(t geom.Trajectory) bool {
+	for _, p := range t {
+		if !pl.Contains(p) {
+			return false
+		}
+	}
+	return pl.CrossingCount(t) == 0
+}
+
+// Router plans wall-avoiding paths on an occupancy grid with A*.
+type Router struct {
+	plan     Plan
+	res      float64
+	nx, ny   int
+	occupied []bool
+}
+
+// NewRouter builds a router with the given grid resolution (meters per
+// cell); cells within clearance of a wall are occupied.
+func NewRouter(plan Plan, res, clearance float64) (*Router, error) {
+	if res <= 0 {
+		return nil, fmt.Errorf("floorplan: resolution %v must be positive", res)
+	}
+	nx := int(math.Ceil(plan.Width/res)) + 1
+	ny := int(math.Ceil(plan.Height/res)) + 1
+	r := &Router{plan: plan, res: res, nx: nx, ny: ny, occupied: make([]bool, nx*ny)}
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			p := r.cellCenter(ix, iy)
+			for _, w := range plan.Walls {
+				if distToSegment(p, w.A, w.B) < clearance {
+					r.occupied[iy*nx+ix] = true
+					break
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+func (r *Router) cellCenter(ix, iy int) geom.Point {
+	return geom.Point{X: float64(ix) * r.res, Y: float64(iy) * r.res}
+}
+
+func (r *Router) cellOf(p geom.Point) (int, int) {
+	ix := int(math.Round(p.X / r.res))
+	iy := int(math.Round(p.Y / r.res))
+	if ix < 0 {
+		ix = 0
+	} else if ix >= r.nx {
+		ix = r.nx - 1
+	}
+	if iy < 0 {
+		iy = 0
+	} else if iy >= r.ny {
+		iy = r.ny - 1
+	}
+	return ix, iy
+}
+
+func distToSegment(p, a, b geom.Point) float64 {
+	ab := b.Sub(a)
+	l2 := ab.Dot(ab)
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
+// nearestFree returns the nearest unoccupied cell to (ix, iy) that the
+// anchor point can reach without crossing a wall (a point inside the
+// clearance band must connect to its own side), searching in growing rings.
+func (r *Router) nearestFree(ix, iy int, anchor geom.Point) (int, int, bool) {
+	ok := func(x, y int) bool {
+		return !r.occupied[y*r.nx+x] && !r.plan.Blocked(anchor, r.cellCenter(x, y))
+	}
+	if ok(ix, iy) {
+		return ix, iy, true
+	}
+	for ring := 1; ring < r.nx+r.ny; ring++ {
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if abs(dx) != ring && abs(dy) != ring {
+					continue
+				}
+				x, y := ix+dx, iy+dy
+				if x < 0 || x >= r.nx || y < 0 || y >= r.ny {
+					continue
+				}
+				if ok(x, y) {
+					return x, y, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Route plans a wall-avoiding path from a to b. The result includes both
+// endpoints; it returns an error if no path exists.
+func (r *Router) Route(a, b geom.Point) (geom.Trajectory, error) {
+	sx, sy := r.cellOf(a)
+	gx, gy := r.cellOf(b)
+	var ok bool
+	if sx, sy, ok = r.nearestFree(sx, sy, a); !ok {
+		return nil, fmt.Errorf("floorplan: no free start cell")
+	}
+	if gx, gy, ok = r.nearestFree(gx, gy, b); !ok {
+		return nil, fmt.Errorf("floorplan: no free goal cell")
+	}
+	type node struct{ x, y int }
+	start := node{sx, sy}
+	goal := node{gx, gy}
+	h := func(n node) float64 {
+		return math.Hypot(float64(n.x-goal.x), float64(n.y-goal.y))
+	}
+	gScore := map[node]float64{start: 0}
+	parent := map[node]node{}
+	open := map[node]bool{start: true}
+	fScore := map[node]float64{start: h(start)}
+	dirs := []node{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+	for len(open) > 0 {
+		// Extract min-f node (the grids here are small; a heap is overkill).
+		var cur node
+		best := math.Inf(1)
+		for n := range open {
+			if fScore[n] < best {
+				best, cur = fScore[n], n
+			}
+		}
+		if cur == goal {
+			// Reconstruct.
+			var cells []node
+			for n := goal; ; {
+				cells = append(cells, n)
+				p, okp := parent[n]
+				if !okp {
+					break
+				}
+				n = p
+			}
+			path := make(geom.Trajectory, 0, len(cells)+2)
+			// Include the exact endpoints only when the hop from/to the
+			// nearest free cell does not itself cross a wall (an endpoint
+			// can sit inside the wall-clearance band or beyond a wall).
+			firstCell := r.cellCenter(cells[len(cells)-1].x, cells[len(cells)-1].y)
+			if !r.plan.Blocked(a, firstCell) {
+				path = append(path, a)
+			}
+			for i := len(cells) - 1; i >= 0; i-- {
+				path = append(path, r.cellCenter(cells[i].x, cells[i].y))
+			}
+			lastCell := path[len(path)-1]
+			if !r.plan.Blocked(lastCell, b) {
+				path = append(path, b)
+			}
+			return path, nil
+		}
+		delete(open, cur)
+		for _, d := range dirs {
+			nb := node{cur.x + d.x, cur.y + d.y}
+			if nb.x < 0 || nb.x >= r.nx || nb.y < 0 || nb.y >= r.ny {
+				continue
+			}
+			if r.occupied[nb.y*r.nx+nb.x] {
+				continue
+			}
+			// Forbid diagonal corner cutting.
+			if d.x != 0 && d.y != 0 {
+				if r.occupied[cur.y*r.nx+nb.x] || r.occupied[nb.y*r.nx+cur.x] {
+					continue
+				}
+			}
+			// Two free cells can still sit on opposite sides of a thin wall
+			// (the clearance band is finite); never step through one.
+			if r.plan.Blocked(r.cellCenter(cur.x, cur.y), r.cellCenter(nb.x, nb.y)) {
+				continue
+			}
+			step := math.Hypot(float64(d.x), float64(d.y))
+			tentative := gScore[cur] + step
+			if old, seen := gScore[nb]; !seen || tentative < old {
+				gScore[nb] = tentative
+				fScore[nb] = tentative + h(nb)
+				parent[nb] = cur
+				open[nb] = true
+			}
+		}
+	}
+	return nil, fmt.Errorf("floorplan: no path from %v to %v", a, b)
+}
+
+// Repair returns a wall-respecting version of a trajectory: runs of valid
+// motion are kept, and every wall-crossing step is replaced by a routed
+// detour through the nearest door, then the result is resampled back to the
+// original length so downstream timing is unchanged. This is the practical
+// realization of §8's proposal to keep cGAN phantoms out of walls.
+func (r *Router) Repair(t geom.Trajectory) (geom.Trajectory, error) {
+	if len(t) < 2 {
+		return t.Clone(), nil
+	}
+	out := geom.Trajectory{t[0]}
+	for i := 1; i < len(t); i++ {
+		prev := out[len(out)-1]
+		if !r.plan.Blocked(prev, t[i]) {
+			out = append(out, t[i])
+			continue
+		}
+		detour, err := r.Route(prev, t[i])
+		if err != nil {
+			return nil, err
+		}
+		if len(detour) > 0 && detour[0].Dist(prev) < 1e-9 {
+			detour = detour[1:]
+		} else if len(detour) > 0 && r.plan.Blocked(prev, detour[0]) {
+			// prev sits inside the wall-clearance band on the far side of a
+			// wall; snap it onto the detour's start instead of bridging.
+			out[len(out)-1] = detour[0]
+			detour = detour[1:]
+		}
+		out = append(out, detour...)
+	}
+	return r.resize(out, len(t))
+}
+
+// resize adjusts a crossing-free path to exactly n points without creating
+// crossings: extra vertices are removed only when the bridging chord stays
+// clear of walls (naive arc-length resampling would cut corners through
+// them), and missing vertices are added by splitting the longest segments
+// (splitting never creates a crossing).
+func (r *Router) resize(path geom.Trajectory, n int) (geom.Trajectory, error) {
+	out := path.Clone()
+	for len(out) > n {
+		best, bestErr := -1, math.Inf(1)
+		for i := 1; i < len(out)-1; i++ {
+			if r.plan.Blocked(out[i-1], out[i+1]) {
+				continue
+			}
+			if e := distToSegment(out[i], out[i-1], out[i+1]); e < bestErr {
+				best, bestErr = i, e
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("floorplan: cannot simplify path to %d points", n)
+		}
+		out = append(out[:best], out[best+1:]...)
+	}
+	for len(out) < n {
+		longest, l := 0, -1.0
+		for i := 1; i < len(out); i++ {
+			if d := out[i].Dist(out[i-1]); d > l {
+				longest, l = i, d
+			}
+		}
+		mid := geom.Lerp(out[longest-1], out[longest], 0.5)
+		out = append(out[:longest], append(geom.Trajectory{mid}, out[longest:]...)...)
+	}
+	return out, nil
+}

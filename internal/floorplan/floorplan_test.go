@@ -1,0 +1,183 @@
+package floorplan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rfprotect/internal/geom"
+)
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		p1, p2, q1, q2 geom.Point
+		want           bool
+	}{
+		{geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 2}, geom.Point{X: 0, Y: 2}, geom.Point{X: 2, Y: 0}, true},
+		{geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 0}, geom.Point{X: 0, Y: 1}, geom.Point{X: 1, Y: 1}, false},
+		// Touching endpoint counts.
+		{geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 1}, geom.Point{X: 1, Y: 1}, geom.Point{X: 2, Y: 0}, true},
+		// Collinear overlap.
+		{geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 0}, geom.Point{X: 1, Y: 0}, geom.Point{X: 3, Y: 0}, true},
+		// Collinear disjoint.
+		{geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 0}, geom.Point{X: 2, Y: 0}, geom.Point{X: 3, Y: 0}, false},
+	}
+	for i, c := range cases {
+		if got := segmentsIntersect(c.p1, c.p2, c.q1, c.q2); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBlockedAndDoors(t *testing.T) {
+	plan := Apartment()
+	// Crossing the corridor wall away from the door is blocked.
+	if !plan.Blocked(geom.Point{X: 2, Y: 1}, geom.Point{X: 2, Y: 3}) {
+		t.Fatal("wall crossing not blocked")
+	}
+	// Walking through the door gap (x in 4.2..5.2) is free.
+	if plan.Blocked(geom.Point{X: 4.7, Y: 1}, geom.Point{X: 4.7, Y: 3}) {
+		t.Fatal("door blocked")
+	}
+	// Room-to-room door at y in 4.4..5.4.
+	if plan.Blocked(geom.Point{X: 4, Y: 5}, geom.Point{X: 6, Y: 5}) {
+		t.Fatal("interior door blocked")
+	}
+	if !plan.Blocked(geom.Point{X: 4, Y: 3}, geom.Point{X: 6, Y: 3}) {
+		t.Fatal("room wall not blocked")
+	}
+}
+
+func TestCrossingCountAndValid(t *testing.T) {
+	plan := Apartment()
+	through := geom.Trajectory{{X: 2, Y: 1}, {X: 2, Y: 3}, {X: 2, Y: 5}}
+	if got := plan.CrossingCount(through); got != 1 {
+		t.Fatalf("crossings %d, want 1", got)
+	}
+	if plan.Valid(through) {
+		t.Fatal("wall-crossing trajectory declared valid")
+	}
+	around := geom.Trajectory{{X: 2, Y: 1}, {X: 4.7, Y: 1}, {X: 4.7, Y: 3}, {X: 2, Y: 3}}
+	if !plan.Valid(around) {
+		t.Fatal("door route declared invalid")
+	}
+	outside := geom.Trajectory{{X: -1, Y: 1}}
+	if plan.Valid(outside) {
+		t.Fatal("out-of-bounds trajectory declared valid")
+	}
+}
+
+func TestRouterFindsDoor(t *testing.T) {
+	plan := Apartment()
+	r, err := NewRouter(plan, 0.2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := r.Route(geom.Point{X: 2, Y: 1}, geom.Point{X: 2, Y: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != (geom.Point{X: 2, Y: 1}) || path[len(path)-1] != (geom.Point{X: 2, Y: 5}) {
+		t.Fatal("endpoints not preserved")
+	}
+	// The route must pass near the door (x around 4.7 at y=2).
+	nearDoor := false
+	for _, p := range path {
+		if p.Dist(geom.Point{X: 4.7, Y: 2}) < 1.0 {
+			nearDoor = true
+		}
+	}
+	if !nearDoor {
+		t.Fatalf("route avoided the door: %v", path)
+	}
+	if plan.CrossingCount(path) != 0 {
+		t.Fatal("routed path crosses a wall")
+	}
+}
+
+func TestRouterRejectsBadResolution(t *testing.T) {
+	if _, err := NewRouter(Apartment(), 0, 0.2); err == nil {
+		t.Fatal("zero resolution accepted")
+	}
+}
+
+func TestRepairRemovesCrossings(t *testing.T) {
+	plan := Apartment()
+	r, err := NewRouter(plan, 0.2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A trajectory that barges through both walls.
+	bad := geom.Trajectory{
+		{X: 2, Y: 1}, {X: 2, Y: 3}, {X: 3, Y: 4}, {X: 7, Y: 4}, {X: 7, Y: 1},
+	}
+	fixed, err := r.Repair(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != len(bad) {
+		t.Fatalf("repair changed length: %d vs %d", len(fixed), len(bad))
+	}
+	if got := plan.CrossingCount(fixed); got != 0 {
+		t.Fatalf("repaired trajectory still crosses %d walls", got)
+	}
+	// Valid trajectories are unchanged (modulo resampling).
+	good := geom.Trajectory{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 1}}
+	same, err := r.Repair(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geom.MeanPointwiseError(same, good) > 1e-9 {
+		t.Fatal("valid trajectory modified")
+	}
+}
+
+func TestRepairRandomTrajectoriesProperty(t *testing.T) {
+	plan := Apartment()
+	r, err := NewRouter(plan, 0.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := make(geom.Trajectory, 12)
+		p := geom.Point{X: 1 + 8*rng.Float64(), Y: 0.5 + 5.5*rng.Float64()}
+		for i := range tr {
+			p = p.Add(geom.Point{X: rng.NormFloat64() * 0.8, Y: rng.NormFloat64() * 0.8})
+			p.X = clamp(p.X, 0.3, plan.Width-0.3)
+			p.Y = clamp(p.Y, 0.3, plan.Height-0.3)
+			tr[i] = p
+		}
+		fixed, err := r.Repair(tr)
+		if err != nil {
+			return false
+		}
+		return plan.CrossingCount(fixed) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func TestDistToSegment(t *testing.T) {
+	a, b := geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 0}
+	if d := distToSegment(geom.Point{X: 1, Y: 1}, a, b); d != 1 {
+		t.Fatalf("perpendicular dist %v", d)
+	}
+	if d := distToSegment(geom.Point{X: 3, Y: 0}, a, b); d != 1 {
+		t.Fatalf("endpoint dist %v", d)
+	}
+	if d := distToSegment(geom.Point{X: 1, Y: 0}, a, a); d != 1 {
+		t.Fatalf("degenerate segment dist %v", d)
+	}
+}

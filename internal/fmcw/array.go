@@ -1,0 +1,65 @@
+package fmcw
+
+import (
+	"math"
+
+	"rfprotect/internal/geom"
+)
+
+// Array places a uniform linear radar array in the 2-D scene. The array lies
+// along the direction AxisAngle; a reflection arriving from world direction
+// v is seen at AoA = angle between the array axis and v, in [0, π]. Facing
+// selects which half-plane the radar looks into (a 1-D array cannot tell the
+// two sides apart; a wall-mounted radar only sees one).
+type Array struct {
+	Position  geom.Point // array phase center
+	AxisAngle float64    // direction of the array line, radians
+	Facing    int        // +1: look toward axis+π/2 side, -1: the other side
+}
+
+// facingSign normalizes Facing to ±1 (zero value means +1).
+func (a Array) facingSign() float64 {
+	if a.Facing < 0 {
+		return -1
+	}
+	return 1
+}
+
+// AoAOf returns the angle of arrival in [0, π] of a scatterer at world
+// position p.
+func (a Array) AoAOf(p geom.Point) float64 {
+	dir := p.Sub(a.Position).Angle()
+	diff := geom.AngleDiff(dir, a.AxisAngle)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff
+}
+
+// DistanceOf returns the range from the array phase center to p.
+func (a Array) DistanceOf(p geom.Point) float64 {
+	return a.Position.Dist(p)
+}
+
+// PointAt maps a (range, AoA) measurement back into world coordinates on the
+// side the array faces.
+func (a Array) PointAt(r, aoa float64) geom.Point {
+	theta := a.AxisAngle + a.facingSign()*aoa
+	return geom.Point{
+		X: a.Position.X + r*math.Cos(theta),
+		Y: a.Position.Y + r*math.Sin(theta),
+	}
+}
+
+// ReturnFrom builds the Return for a point scatterer at p with the given
+// amplitude. extraDelay is added to the true round-trip delay and extraPhase
+// to the carrier phase.
+func (a Array) ReturnFrom(p geom.Point, amplitude, extraDelay, extraPhase float64) Return {
+	d := a.DistanceOf(p)
+	return Return{
+		Delay:     2*d/C + extraDelay,
+		Amplitude: amplitude,
+		AoA:       a.AoAOf(p),
+		Phase:     extraPhase,
+	}
+}

@@ -1,0 +1,123 @@
+package fmcw
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Return is one reflection arriving at the radar during a chirp. The channel
+// model (internal/scene and internal/reflector) reduces every physical
+// effect — walls, humans, switching reflectors — to a list of Returns.
+type Return struct {
+	Delay     float64 // round-trip propagation delay in seconds
+	Amplitude float64 // linear amplitude at the receiver
+	AoA       float64 // angle of arrival, radians in [0, π] from the array axis
+	FreqShift float64 // extra beat-frequency offset in Hz (reflector switching)
+	Phase     float64 // extra carrier phase in radians (phase shifter, micro-motion)
+}
+
+// Frame is the dechirped output of one chirp across all array elements:
+// Data[k][i] is IF sample i on antenna k.
+type Frame struct {
+	Params Params
+	Time   float64 // capture time in seconds (frame timestamp)
+	Data   [][]complex128
+}
+
+// NewFrame allocates a zeroed frame for the given parameters.
+func NewFrame(p Params, at float64) *Frame {
+	n := p.SamplesPerChirp()
+	data := make([][]complex128, p.NumAntennas)
+	backing := make([]complex128, p.NumAntennas*n)
+	for k := range data {
+		data[k], backing = backing[:n], backing[n:]
+	}
+	return &Frame{Params: p, Time: at, Data: data}
+}
+
+// Synthesize produces the beat-domain frame for a set of returns at capture
+// time at, adding AWGN from rng (rng may be nil for a noiseless frame).
+//
+// For a return with delay τ, extra beat offset f_x and extra phase φ, the
+// contribution to antenna k at IF sample time t is
+//
+//	A · exp(j2π((sl·τ + f_x)·t + f_c·τ)) · exp(jφ) · exp(-j2π·k·d·cos(AoA)/λ)
+//
+// matching Eq. 1–2 of the paper.
+func Synthesize(p Params, returns []Return, at float64, rng *rand.Rand) *Frame {
+	f := NewFrame(p, at)
+	f.AddReturns(returns)
+	if rng != nil && p.NoiseStd > 0 {
+		f.AddNoise(rng)
+	}
+	return f
+}
+
+// AddReturns accumulates the beat contributions of the given returns into
+// the frame.
+func (f *Frame) AddReturns(returns []Return) {
+	p := f.Params
+	n := p.SamplesPerChirp()
+	sl := p.Slope()
+	lambda := p.Wavelength()
+	d := p.Spacing()
+	dt := 1 / p.SampleRate
+	for _, r := range returns {
+		if r.Amplitude == 0 {
+			continue
+		}
+		beat := sl*r.Delay + r.FreqShift
+		// A frequency-shifting modulator (the RF-Protect switch) free-runs
+		// across chirps, so its tone's phase at this chirp's start depends
+		// on absolute capture time — this is what gives the shifted
+		// reflection a Doppler signature in chirp-coherent processing.
+		carrier := 2*math.Pi*p.CenterFreq*r.Delay + r.Phase + 2*math.Pi*r.FreqShift*f.Time
+		// Per-sample rotation for this return.
+		step := 2 * math.Pi * beat * dt
+		stepC := complex(math.Cos(step), math.Sin(step))
+		for k := 0; k < p.NumAntennas; k++ {
+			steer := -2 * math.Pi * float64(k) * d * math.Cos(r.AoA) / lambda
+			ph0 := carrier + steer
+			cur := complex(r.Amplitude*math.Cos(ph0), r.Amplitude*math.Sin(ph0))
+			row := f.Data[k]
+			for i := 0; i < n; i++ {
+				row[i] += cur
+				cur *= stepC
+			}
+		}
+	}
+}
+
+// AddNoise adds circular complex Gaussian noise of standard deviation
+// Params.NoiseStd per I/Q component.
+func (f *Frame) AddNoise(rng *rand.Rand) {
+	std := f.Params.NoiseStd
+	if std <= 0 {
+		return
+	}
+	for k := range f.Data {
+		row := f.Data[k]
+		for i := range row {
+			row[i] += complex(rng.NormFloat64()*std, rng.NormFloat64()*std)
+		}
+	}
+}
+
+// Sub returns f - g sample-wise as a new frame: the successive-frame
+// background subtraction primitive of §3 ("Addressing Static Reflectors").
+// It panics if the frames have different shapes.
+func (f *Frame) Sub(g *Frame) *Frame {
+	if len(f.Data) != len(g.Data) {
+		panic("fmcw: Sub with mismatched antenna counts")
+	}
+	out := NewFrame(f.Params, f.Time)
+	for k := range f.Data {
+		if len(f.Data[k]) != len(g.Data[k]) {
+			panic("fmcw: Sub with mismatched sample counts")
+		}
+		for i := range f.Data[k] {
+			out.Data[k][i] = f.Data[k][i] - g.Data[k][i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+// Package fmcw models an FMCW (frequency-modulated continuous wave) radar at
+// the level that matters for human sensing: the dechirped beat signal.
+//
+// A real FMCW front end transmits a chirp sweeping bandwidth B over duration
+// T (slope sl = B/T), mixes the received reflections with the transmitted
+// chirp, and low-pass filters. A scatterer at round-trip delay τ then appears
+// in the mixer output as a complex tone at beat frequency f_b = sl·τ with
+// carrier phase 2π·f_c·τ, received on each array element with the usual
+// steering phase. Simulating that tone directly is exactly equivalent to
+// simulating the GHz passband signal and dechirping it, at about six orders
+// of magnitude less compute — which is how this package replaces the paper's
+// TI LMX2492EVM-based 6–7 GHz prototype (see DESIGN.md, substitutions).
+package fmcw
+
+import (
+	"fmt"
+	"math"
+)
+
+// C is the speed of light in m/s.
+const C = 299792458.0
+
+// Params describes an FMCW radar configuration. DefaultParams mirrors the
+// paper's prototype: a 6–7 GHz chirp over 500 µs with a 7-element array.
+type Params struct {
+	CenterFreq     float64 // carrier center frequency in Hz
+	Bandwidth      float64 // chirp sweep bandwidth in Hz
+	ChirpDuration  float64 // chirp duration in seconds
+	SampleRate     float64 // beat-signal (IF) sample rate in Hz
+	NumAntennas    int     // receive array elements
+	AntennaSpacing float64 // element spacing in meters; 0 means λ/2
+	FrameRate      float64 // frames (chirps used for tracking) per second
+	NoiseStd       float64 // AWGN standard deviation per I/Q sample
+}
+
+// DefaultParams returns the paper-faithful configuration: 6–7 GHz sweep,
+// 500 µs chirp (slope 2·10¹² Hz/s), 7 antennas at λ/2, 1.024 MHz IF sampling
+// (512 samples per chirp, 15 cm range bins, ~37 m unambiguous range) and a
+// 20 Hz frame rate.
+func DefaultParams() Params {
+	return Params{
+		CenterFreq:    6.5e9,
+		Bandwidth:     1e9,
+		ChirpDuration: 500e-6,
+		SampleRate:    1.024e6,
+		NumAntennas:   7,
+		FrameRate:     20,
+		NoiseStd:      0.02,
+	}
+}
+
+// Validate reports a descriptive error for physically meaningless
+// configurations.
+func (p Params) Validate() error {
+	switch {
+	case p.CenterFreq <= 0:
+		return fmt.Errorf("fmcw: CenterFreq %v must be positive", p.CenterFreq)
+	case p.Bandwidth <= 0:
+		return fmt.Errorf("fmcw: Bandwidth %v must be positive", p.Bandwidth)
+	case p.ChirpDuration <= 0:
+		return fmt.Errorf("fmcw: ChirpDuration %v must be positive", p.ChirpDuration)
+	case p.SampleRate <= 0:
+		return fmt.Errorf("fmcw: SampleRate %v must be positive", p.SampleRate)
+	case p.NumAntennas < 1:
+		return fmt.Errorf("fmcw: NumAntennas %d must be >= 1", p.NumAntennas)
+	case p.NoiseStd < 0:
+		return fmt.Errorf("fmcw: NoiseStd %v must be >= 0", p.NoiseStd)
+	}
+	return nil
+}
+
+// Slope returns the chirp slope sl = B/T in Hz/s.
+func (p Params) Slope() float64 { return p.Bandwidth / p.ChirpDuration }
+
+// Wavelength returns the carrier wavelength λ = C/f_c in meters.
+func (p Params) Wavelength() float64 { return C / p.CenterFreq }
+
+// Spacing returns the array element spacing, defaulting to λ/2.
+func (p Params) Spacing() float64 {
+	if p.AntennaSpacing > 0 {
+		return p.AntennaSpacing
+	}
+	return p.Wavelength() / 2
+}
+
+// SamplesPerChirp returns the number of IF samples in one chirp.
+func (p Params) SamplesPerChirp() int {
+	return int(math.Round(p.SampleRate * p.ChirpDuration))
+}
+
+// RangeResolution returns C/(2B), the paper's 15 cm for B = 1 GHz.
+func (p Params) RangeResolution() float64 { return C / (2 * p.Bandwidth) }
+
+// MaxRange returns the unambiguous range implied by the IF Nyquist limit:
+// the beat of a target at MaxRange is SampleRate/2.
+func (p Params) MaxRange() float64 {
+	return C * p.SampleRate / (4 * p.Slope())
+}
+
+// BeatFrequency returns the beat tone frequency for a target at the given
+// one-way distance (round-trip delay 2d/C).
+func (p Params) BeatFrequency(distance float64) float64 {
+	return p.Slope() * 2 * distance / C
+}
+
+// DistanceForBeat inverts BeatFrequency.
+func (p Params) DistanceForBeat(beat float64) float64 {
+	return beat * C / (2 * p.Slope())
+}
+
+// AngularResolution returns the nominal array resolution π/K in radians
+// (§5.2 of the paper).
+func (p Params) AngularResolution() float64 {
+	return math.Pi / float64(p.NumAntennas)
+}

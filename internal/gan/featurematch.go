@@ -1,0 +1,104 @@
+package gan
+
+import "rfprotect/internal/nn"
+
+// Feature matching (Salimans et al., "Improved Techniques for Training
+// GANs"): alongside the adversarial objective, the generator matches
+// low-order statistics of the real step distribution. With small models and
+// CPU-scale training this is what keeps the generated trajectory
+// *distribution* (not just individual samples) aligned with the corpus —
+// the property Fig. 12's FID measures and §6 argues is required to survive
+// a distribution-learning eavesdropper.
+//
+// Matched statistics over all (batch, time) step samples:
+//   - per-axis mean and variance of the step vector,
+//   - mean lag-1 step correlation (smoothness / velocity autocorrelation).
+
+// stepMoments computes per-axis means, variances and the mean lag-1 dot
+// product of a step sequence.
+func stepMoments(steps []*nn.Mat) (mean, variance [2]float64, corr float64) {
+	if len(steps) == 0 || steps[0].Rows == 0 {
+		return mean, variance, 0
+	}
+	batch := steps[0].Rows
+	n := float64(len(steps) * batch)
+	for _, s := range steps {
+		for b := 0; b < batch; b++ {
+			mean[0] += s.Data[b*2]
+			mean[1] += s.Data[b*2+1]
+		}
+	}
+	mean[0] /= n
+	mean[1] /= n
+	for _, s := range steps {
+		for b := 0; b < batch; b++ {
+			dx := s.Data[b*2] - mean[0]
+			dy := s.Data[b*2+1] - mean[1]
+			variance[0] += dx * dx
+			variance[1] += dy * dy
+		}
+	}
+	variance[0] /= n
+	variance[1] /= n
+	nc := float64((len(steps) - 1) * batch)
+	if nc > 0 {
+		for t := 1; t < len(steps); t++ {
+			prev, cur := steps[t-1], steps[t]
+			for b := 0; b < batch; b++ {
+				corr += cur.Data[b*2]*prev.Data[b*2] + cur.Data[b*2+1]*prev.Data[b*2+1]
+			}
+		}
+		corr /= nc
+	}
+	return mean, variance, corr
+}
+
+// momentMatchLoss returns the squared-difference loss between fake and real
+// step moments and the gradient of that loss with respect to every fake
+// step entry.
+func momentMatchLoss(fake []*nn.Mat, realSteps []*nn.Mat) (loss float64, grads []*nn.Mat) {
+	mf, vf, cf := stepMoments(fake)
+	mr, vr, cr := stepMoments(realSteps)
+	batch := fake[0].Rows
+	n := float64(len(fake) * batch)
+	nc := float64((len(fake) - 1) * batch)
+
+	var dMean, dVar [2]float64
+	for d := 0; d < 2; d++ {
+		dm := mf[d] - mr[d]
+		dv := vf[d] - vr[d]
+		loss += dm*dm + dv*dv
+		dMean[d] = 2 * dm
+		dVar[d] = 2 * dv
+	}
+	dc := cf - cr
+	loss += dc * dc
+	dCorr := 2 * dc
+
+	grads = make([]*nn.Mat, len(fake))
+	for t := range fake {
+		grads[t] = nn.NewMat(batch, 2)
+	}
+	for t, s := range fake {
+		for b := 0; b < batch; b++ {
+			for d := 0; d < 2; d++ {
+				v := s.Data[b*2+d]
+				// d mean / d v = 1/n ; d var / d v = 2(v - mean)/n
+				// (ignoring the mean's dependence inside var, the standard
+				// stop-gradient simplification for batch statistics).
+				g := dMean[d]/n + dVar[d]*2*(v-mf[d])/n
+				// Correlation term: v appears in products with t-1 and t+1.
+				if nc > 0 {
+					if t > 0 {
+						g += dCorr * fake[t-1].Data[b*2+d] / nc
+					}
+					if t < len(fake)-1 {
+						g += dCorr * fake[t+1].Data[b*2+d] / nc
+					}
+				}
+				grads[t].Data[b*2+d] = g
+			}
+		}
+	}
+	return loss, grads
+}

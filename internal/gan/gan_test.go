@@ -1,0 +1,221 @@
+package gan
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/motion"
+	"rfprotect/internal/nn"
+)
+
+func tinyConfig() Config {
+	c := DefaultConfig()
+	c.Hidden = 16
+	c.SeqLen = 12
+	c.Batch = 8
+	return c
+}
+
+func TestGeneratorOutputShape(t *testing.T) {
+	cfg := tinyConfig()
+	rng := rand.New(rand.NewSource(1))
+	g := NewGenerator(cfg, rng)
+	trs := g.Generate(5, 2, rng)
+	if len(trs) != 5 {
+		t.Fatalf("got %d trajectories", len(trs))
+	}
+	for _, tr := range trs {
+		if len(tr) != cfg.SeqLen {
+			t.Fatalf("trajectory length %d", len(tr))
+		}
+	}
+}
+
+func TestGeneratorLabelConditioning(t *testing.T) {
+	cfg := tinyConfig()
+	rng := rand.New(rand.NewSource(2))
+	g := NewGenerator(cfg, rng)
+	// Same z, different labels must give different outputs (no collapse of
+	// the conditioning path at initialization).
+	z := nn.RandMat(1, cfg.LatentDim, 1, rng)
+	g.setTrain(false)
+	g.reset()
+	a := g.forward(z.Clone(), []int{0})
+	g.reset()
+	b := g.forward(z.Clone(), []int{4})
+	diff := 0.0
+	for t2 := range a {
+		for i := range a[t2].Data {
+			diff += math.Abs(a[t2].Data[i] - b[t2].Data[i])
+		}
+	}
+	if diff < 1e-9 {
+		t.Fatal("labels do not influence the generator")
+	}
+}
+
+func TestStepsTrajectoriesRoundTrip(t *testing.T) {
+	trs := []geom.Trajectory{
+		{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 1}},
+		{{X: 0, Y: 0}, {X: -1, Y: 2}, {X: -2, Y: 0}, {X: 0, Y: 0}},
+	}
+	steps := trajectoriesToSteps(trs, 4)
+	back := stepsToTrajectories(steps)
+	for i := range trs {
+		for j := range trs[i] {
+			if back[i][j].Dist(trs[i][j]) > 1e-9 {
+				t.Fatalf("roundtrip mismatch at %d,%d: %v vs %v", i, j, back[i][j], trs[i][j])
+			}
+		}
+	}
+}
+
+func TestDiscriminatorShape(t *testing.T) {
+	cfg := tinyConfig()
+	rng := rand.New(rand.NewSource(3))
+	d := NewDiscriminator(cfg, rng)
+	steps := make([]*nn.Mat, cfg.SeqLen)
+	for i := range steps {
+		steps[i] = nn.RandMat(6, 2, 0.1, rng)
+	}
+	d.setTrain(false)
+	logits := d.forward(steps, []int{0, 1, 2, 3, 4, 0})
+	if logits.Rows != 6 || logits.Cols != 1 {
+		t.Fatalf("logits shape %dx%d", logits.Rows, logits.Cols)
+	}
+}
+
+// TestGANGradientsFlowEndToEnd numerically checks one generator parameter's
+// gradient through the full G -> D -> BCE pipeline.
+func TestGANGradientsFlowEndToEnd(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Dropout = 0 // determinism for the numeric check
+	rng := rand.New(rand.NewSource(4))
+	g := NewGenerator(cfg, rng)
+	d := NewDiscriminator(cfg, rng)
+	z := nn.RandMat(3, cfg.LatentDim, 1, rng)
+	labels := []int{0, 1, 2}
+	targets := []float64{1, 1, 1}
+
+	loss := func() float64 {
+		g.reset()
+		d.reset()
+		g.setTrain(false)
+		d.setTrain(false)
+		steps := g.forward(z, labels)
+		logits := d.forward(steps, labels)
+		v, _ := nn.BCEWithLogits(logits, targets)
+		return v
+	}
+	nn.ZeroGrads(g, d)
+	g.reset()
+	d.reset()
+	g.setTrain(false)
+	d.setTrain(false)
+	steps := g.forward(z, labels)
+	logits := d.forward(steps, labels)
+	_, dl := nn.BCEWithLogits(logits, targets)
+	dsteps := d.backward(dl, cfg.SeqLen, true)
+	g.backward(dsteps)
+
+	const eps = 1e-6
+	for _, p := range []*nn.Param{g.Seed.W, g.Out.W, g.LSTM1.Wx} {
+		for _, idx := range []int{0, len(p.Value.Data) / 2} {
+			orig := p.Value.Data[idx]
+			p.Value.Data[idx] = orig + eps
+			lp := loss()
+			p.Value.Data[idx] = orig - eps
+			lm := loss()
+			p.Value.Data[idx] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := p.Grad.Data[idx]
+			scale := math.Max(math.Max(math.Abs(numeric), math.Abs(analytic)), 1e-5)
+			if math.Abs(numeric-analytic)/scale > 1e-3 {
+				t.Fatalf("%s grad[%d]: analytic %v numeric %v", p.Name, idx, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestTrainingImprovesRealism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GAN training loop")
+	}
+	// After a short training run the generator's step-length statistics
+	// should move toward the real data's, and the discriminator should not
+	// trivially separate real from fake.
+	ds := motion.Generate(400, 11)
+	cfg := DefaultConfig()
+	cfg.Hidden = 24
+	cfg.Batch = 32
+	cfg.Seed = 7
+	tr := NewTrainer(cfg, ds)
+
+	realSpeed := corpusMedianStep(ds.Traces)
+	before := corpusMedianStep(tr.Sample(64))
+	tr.Train(60, 0, nil)
+	after := corpusMedianStep(tr.Sample(64))
+
+	errBefore := math.Abs(before - realSpeed)
+	errAfter := math.Abs(after - realSpeed)
+	if errAfter > errBefore && errAfter > 0.5*realSpeed {
+		t.Fatalf("step stats diverged: real %v, before %v, after %v", realSpeed, before, after)
+	}
+	if len(tr.History) != 60 {
+		t.Fatalf("history length %d", len(tr.History))
+	}
+	last := tr.History[len(tr.History)-1]
+	if last.LossD <= 0 || last.LossG <= 0 {
+		t.Fatalf("degenerate losses: %+v", last)
+	}
+}
+
+func corpusMedianStep(trs []geom.Trajectory) float64 {
+	var steps []float64
+	for _, tr := range trs {
+		for i := 1; i < len(tr); i++ {
+			steps = append(steps, tr[i].Dist(tr[i-1]))
+		}
+	}
+	return dsp.Median(steps)
+}
+
+func TestTrainerSaveLoad(t *testing.T) {
+	ds := motion.Generate(50, 12)
+	cfg := tinyConfig()
+	tr := NewTrainer(cfg, ds)
+	tr.Train(2, 0, nil)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := NewTrainer(cfg, ds)
+	if err := tr2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Identical weights produce identical samples under the same rng.
+	rngA := rand.New(rand.NewSource(5))
+	rngB := rand.New(rand.NewSource(5))
+	a := tr.G.Generate(3, 1, rngA)
+	b := tr2.G.Generate(3, 1, rngB)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j].Dist(b[i][j]) > 1e-12 {
+				t.Fatal("loaded model differs")
+			}
+		}
+	}
+}
+
+func TestSampleCount(t *testing.T) {
+	ds := motion.Generate(50, 13)
+	tr := NewTrainer(tinyConfig(), ds)
+	trs := tr.Sample(70)
+	if len(trs) != 70 {
+		t.Fatalf("sampled %d", len(trs))
+	}
+}

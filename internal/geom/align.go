@@ -1,0 +1,73 @@
+package geom
+
+import "math"
+
+// RigidTransform is a rotation about the origin followed by a translation.
+type RigidTransform struct {
+	Theta       float64 // rotation angle in radians
+	Translation Point
+}
+
+// Apply maps p through the transform.
+func (rt RigidTransform) Apply(p Point) Point {
+	return p.Rotate(rt.Theta).Add(rt.Translation)
+}
+
+// ApplyTrajectory maps every point of t through the transform.
+func (rt RigidTransform) ApplyTrajectory(t Trajectory) Trajectory {
+	out := make(Trajectory, len(t))
+	for i, p := range t {
+		out[i] = rt.Apply(p)
+	}
+	return out
+}
+
+// AlignRigid computes the least-squares rigid transform (rotation +
+// translation, no scaling) mapping src onto dst — the classic 2-D
+// Procrustes / Kabsch solution. Both trajectories must have the same
+// nonzero length; otherwise the identity transform is returned.
+//
+// The optimal rotation maximizes Σ dst'_i · R(src'_i) over centered points,
+// giving θ = atan2(Σ cross, Σ dot).
+func AlignRigid(src, dst Trajectory) RigidTransform {
+	if len(src) == 0 || len(src) != len(dst) {
+		return RigidTransform{}
+	}
+	cs := src.Centroid()
+	cd := dst.Centroid()
+	var sumDot, sumCross float64
+	for i := range src {
+		a := src[i].Sub(cs)
+		b := dst[i].Sub(cd)
+		sumDot += a.Dot(b)
+		sumCross += a.Cross(b)
+	}
+	theta := math.Atan2(sumCross, sumDot)
+	// Translation maps the rotated source centroid onto the destination
+	// centroid.
+	rotCS := cs.Rotate(theta)
+	return RigidTransform{Theta: theta, Translation: cd.Sub(rotCS)}
+}
+
+// AlignedErrors rigidly aligns src to dst and returns the per-point residual
+// distances. This is the "error modulo translation and rotation" of §11.1.
+// Trajectories of different lengths are resampled to the shorter length
+// first.
+func AlignedErrors(src, dst Trajectory) []float64 {
+	if len(src) == 0 || len(dst) == 0 {
+		return nil
+	}
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	s := src.Resample(n)
+	d := dst.Resample(n)
+	rt := AlignRigid(s, d)
+	aligned := rt.ApplyTrajectory(s)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = aligned[i].Dist(d[i])
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrajectoryDegenerateCases(t *testing.T) {
+	var empty Trajectory
+	if empty.PathLength() != 0 {
+		t.Fatal("empty path length")
+	}
+	if empty.Centroid() != (Point{}) {
+		t.Fatal("empty centroid")
+	}
+	min, max := empty.BoundingBox()
+	if min != (Point{}) || max != (Point{}) {
+		t.Fatal("empty bbox")
+	}
+	if empty.Velocities(10) != nil || len(empty.Speeds(10)) != 0 || empty.TurningAngles() != nil {
+		t.Fatal("empty derivatives")
+	}
+	single := Trajectory{{X: 1, Y: 2}}
+	if single.RangeOfMotion() != 0 {
+		t.Fatal("single-point range of motion")
+	}
+	if single.Velocities(1) != nil {
+		t.Fatal("single-point velocities")
+	}
+	two := Trajectory{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	if two.TurningAngles() != nil {
+		t.Fatal("two-point turning angles")
+	}
+}
+
+func TestResampleZeroLengthPath(t *testing.T) {
+	// All points identical: resampling must not divide by zero.
+	tr := Trajectory{{X: 2, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 2}}
+	rs := tr.Resample(5)
+	if len(rs) != 5 {
+		t.Fatalf("len %d", len(rs))
+	}
+	for _, p := range rs {
+		if p != (Point{X: 2, Y: 2}) {
+			t.Fatal("degenerate resample moved points")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Trajectory{{X: 1, Y: 1}}
+	b := a.Clone()
+	b[0] = Point{X: 9, Y: 9}
+	if a[0] != (Point{X: 1, Y: 1}) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestRotateAboutCenter(t *testing.T) {
+	tr := Trajectory{{X: 2, Y: 1}}
+	got := tr.Rotate(math.Pi, Point{X: 1, Y: 1})
+	if got[0].Dist(Point{X: 0, Y: 1}) > 1e-12 {
+		t.Fatalf("rotate about center: %v", got[0])
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := Point{X: 1, Y: 2}, Point{X: 3, Y: 4}
+	if Lerp(a, b, 0) != a || Lerp(a, b, 1) != b {
+		t.Fatal("lerp endpoints")
+	}
+	mid := Lerp(a, b, 0.5)
+	if mid != (Point{X: 2, Y: 3}) {
+		t.Fatalf("lerp midpoint %v", mid)
+	}
+}
+
+func TestAlignedErrorsResamplesDifferentLengths(t *testing.T) {
+	long := make(Trajectory, 20)
+	short := make(Trajectory, 7)
+	for i := range long {
+		long[i] = Point{X: float64(i), Y: 0}
+	}
+	for i := range short {
+		short[i] = Point{X: float64(i) * 19.0 / 6.0, Y: 0}
+	}
+	errs := AlignedErrors(long, short)
+	if len(errs) != 7 {
+		t.Fatalf("len %d", len(errs))
+	}
+	for _, e := range errs {
+		if e > 1e-9 {
+			t.Fatalf("same line should align perfectly, err %v", e)
+		}
+	}
+	if AlignedErrors(nil, short) != nil {
+		t.Fatal("nil input")
+	}
+}

@@ -1,0 +1,230 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{1, -1}
+	if p.Add(q) != (Point{4, 3}) {
+		t.Fatal("Add")
+	}
+	if p.Sub(q) != (Point{2, 5}) {
+		t.Fatal("Sub")
+	}
+	if p.Scale(2) != (Point{6, 8}) {
+		t.Fatal("Scale")
+	}
+	if p.Dot(q) != -1 {
+		t.Fatal("Dot")
+	}
+	if p.Cross(q) != -7 {
+		t.Fatal("Cross")
+	}
+	if p.Norm() != 5 {
+		t.Fatal("Norm")
+	}
+	if p.Dist(Point{0, 0}) != 5 {
+		t.Fatal("Dist")
+	}
+	if s := p.String(); s != "(3.00, 4.00)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	p := Point{1, 0}
+	r := p.Rotate(math.Pi / 2)
+	if math.Abs(r.X) > 1e-12 || math.Abs(r.Y-1) > 1e-12 {
+		t.Fatalf("Rotate 90: %v", r)
+	}
+}
+
+func TestPolarRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Point{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+		o := Point{rng.NormFloat64(), rng.NormFloat64()}
+		back := ToPolar(p, o).ToCartesian(o)
+		return p.Dist(back) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if d := AngleDiff(0.1, -0.1); math.Abs(d-0.2) > 1e-12 {
+		t.Fatalf("AngleDiff = %v", d)
+	}
+	// Wrap-around: 179° - (-179°) = -2°.
+	a, b := math.Pi-0.01, -math.Pi+0.01
+	if d := AngleDiff(a, b); math.Abs(d+0.02) > 1e-9 {
+		t.Fatalf("wrap AngleDiff = %v", d)
+	}
+}
+
+func line(n int, from, to Point) Trajectory {
+	t := make(Trajectory, n)
+	for i := range t {
+		t[i] = Lerp(from, to, float64(i)/float64(n-1))
+	}
+	return t
+}
+
+func TestTrajectoryBasics(t *testing.T) {
+	tr := line(11, Point{0, 0}, Point{10, 0})
+	if math.Abs(tr.PathLength()-10) > 1e-12 {
+		t.Fatalf("PathLength = %v", tr.PathLength())
+	}
+	c := tr.Centroid()
+	if math.Abs(c.X-5) > 1e-12 || math.Abs(c.Y) > 1e-12 {
+		t.Fatalf("Centroid = %v", c)
+	}
+	min, max := tr.BoundingBox()
+	if min != (Point{0, 0}) || max != (Point{10, 0}) {
+		t.Fatalf("BoundingBox = %v %v", min, max)
+	}
+	if math.Abs(tr.RangeOfMotion()-10) > 1e-12 {
+		t.Fatalf("RangeOfMotion = %v", tr.RangeOfMotion())
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := Trajectory{{0, 0}, {1, 0}, {1, 1}}
+	rs := tr.Resample(5)
+	if len(rs) != 5 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	if rs[0] != tr[0] || rs[4] != tr[2] {
+		t.Fatalf("endpoints moved: %v", rs)
+	}
+	// Halfway in arc length (total 2) is the corner (1,0).
+	if rs[2].Dist(Point{1, 0}) > 1e-9 {
+		t.Fatalf("midpoint = %v", rs[2])
+	}
+	// Arc length preserved.
+	if math.Abs(rs.PathLength()-2) > 1e-9 {
+		t.Fatalf("resampled length = %v", rs.PathLength())
+	}
+	if tr.Resample(0) != nil || Trajectory(nil).Resample(5) != nil {
+		t.Fatal("degenerate resample should be nil")
+	}
+	single := Trajectory{{2, 3}}.Resample(3)
+	for _, p := range single {
+		if p != (Point{2, 3}) {
+			t.Fatal("single-point resample")
+		}
+	}
+}
+
+func TestVelocitiesAndTurning(t *testing.T) {
+	tr := Trajectory{{0, 0}, {1, 0}, {1, 1}}
+	v := tr.Velocities(2) // fs = 2 Hz
+	if len(v) != 2 || v[0] != (Point{2, 0}) || v[1] != (Point{0, 2}) {
+		t.Fatalf("Velocities = %v", v)
+	}
+	sp := tr.Speeds(2)
+	if sp[0] != 2 || sp[1] != 2 {
+		t.Fatalf("Speeds = %v", sp)
+	}
+	ta := tr.TurningAngles()
+	if len(ta) != 1 || math.Abs(ta[0]-math.Pi/2) > 1e-12 {
+		t.Fatalf("TurningAngles = %v", ta)
+	}
+}
+
+func TestAlignRigidRecoversTransform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		src := make(Trajectory, n)
+		for i := range src {
+			src[i] = Point{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		}
+		want := RigidTransform{
+			Theta:       rng.Float64()*2*math.Pi - math.Pi,
+			Translation: Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10},
+		}
+		dst := want.ApplyTrajectory(src)
+		got := AlignRigid(src, dst)
+		aligned := got.ApplyTrajectory(src)
+		for i := range aligned {
+			if aligned[i].Dist(dst[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignedErrorsZeroForRigidCopies(t *testing.T) {
+	src := Trajectory{{0, 0}, {1, 0}, {2, 1}, {3, 3}}
+	dst := src.Rotate(1.1, Point{}).Translate(Point{5, -2})
+	errs := AlignedErrors(src, dst)
+	for _, e := range errs {
+		if e > 1e-9 {
+			t.Fatalf("residual %v after rigid alignment", e)
+		}
+	}
+}
+
+func TestAlignedErrorsDetectsShapeDifference(t *testing.T) {
+	a := line(10, Point{0, 0}, Point{5, 0})
+	b := a.Clone()
+	b[5] = b[5].Add(Point{0, 1}) // bend the middle
+	errs := AlignedErrors(a, b)
+	max := 0.0
+	for _, e := range errs {
+		if e > max {
+			max = e
+		}
+	}
+	if max < 0.3 {
+		t.Fatalf("shape difference undetected, max residual %v", max)
+	}
+}
+
+func TestAlignRigidDegenerate(t *testing.T) {
+	if rt := AlignRigid(nil, nil); rt != (RigidTransform{}) {
+		t.Fatal("empty alignment should be identity")
+	}
+	if rt := AlignRigid(Trajectory{{1, 1}}, Trajectory{{1, 1}, {2, 2}}); rt != (RigidTransform{}) {
+		t.Fatal("length mismatch should be identity")
+	}
+}
+
+func TestMeanPointwiseError(t *testing.T) {
+	a := line(10, Point{0, 0}, Point{9, 0})
+	b := a.Translate(Point{0, 2})
+	if e := MeanPointwiseError(a, b); math.Abs(e-2) > 1e-9 {
+		t.Fatalf("MeanPointwiseError = %v", e)
+	}
+	if !math.IsInf(MeanPointwiseError(nil, b), 1) {
+		t.Fatal("empty should be +Inf")
+	}
+	errs := PointwiseErrors(a, b, 5)
+	if len(errs) != 5 {
+		t.Fatalf("PointwiseErrors len = %d", len(errs))
+	}
+	for _, e := range errs {
+		if math.Abs(e-2) > 1e-9 {
+			t.Fatalf("errs = %v", errs)
+		}
+	}
+}
+
+func TestScaleTrajectory(t *testing.T) {
+	tr := Trajectory{{1, 0}, {2, 0}}
+	s := tr.Scale(2, Point{1, 0})
+	if s[0] != (Point{1, 0}) || s[1] != (Point{3, 0}) {
+		t.Fatalf("Scale = %v", s)
+	}
+}

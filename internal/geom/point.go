@@ -1,0 +1,85 @@
+// Package geom provides the 2-D geometry substrate: points, polar
+// coordinates, trajectories, resampling, and the rigid (rotation +
+// translation) alignment used to score spoofed trajectories "modulo
+// translation and rotation of the entire trajectory" as in §11.1 of the
+// paper.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D point or vector in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns s*p.
+func (p Point) Scale(s float64) Point { return Point{s * p.X, s * p.Y} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the scalar cross product p×q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Angle returns the direction of p in radians, atan2(Y, X).
+func (p Point) Angle() float64 { return math.Atan2(p.Y, p.X) }
+
+// Rotate returns p rotated by theta radians about the origin.
+func (p Point) Rotate(theta float64) Point {
+	c, s := math.Cos(theta), math.Sin(theta)
+	return Point{c*p.X - s*p.Y, s*p.X + c*p.Y}
+}
+
+// String formats the point with centimeter precision.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Polar is a point expressed as range and bearing relative to some origin.
+type Polar struct {
+	R     float64 // range in meters
+	Theta float64 // bearing in radians
+}
+
+// ToPolar converts p to polar coordinates relative to origin.
+func ToPolar(p, origin Point) Polar {
+	d := p.Sub(origin)
+	return Polar{R: d.Norm(), Theta: d.Angle()}
+}
+
+// ToCartesian converts a polar coordinate relative to origin back to a point.
+func (pl Polar) ToCartesian(origin Point) Point {
+	return Point{
+		X: origin.X + pl.R*math.Cos(pl.Theta),
+		Y: origin.Y + pl.R*math.Sin(pl.Theta),
+	}
+}
+
+// Lerp linearly interpolates between a and b with parameter t in [0, 1].
+func Lerp(a, b Point, t float64) Point {
+	return Point{a.X + (b.X-a.X)*t, a.Y + (b.Y-a.Y)*t}
+}
+
+// AngleDiff returns the signed smallest difference a-b wrapped to (-π, π].
+func AngleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	} else if d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}

@@ -1,0 +1,204 @@
+package geom
+
+import "math"
+
+// Trajectory is an ordered sequence of 2-D positions sampled at a uniform
+// rate.
+type Trajectory []Point
+
+// Clone returns a deep copy of t.
+func (t Trajectory) Clone() Trajectory {
+	out := make(Trajectory, len(t))
+	copy(out, t)
+	return out
+}
+
+// Centroid returns the mean position, or the zero point when empty.
+func (t Trajectory) Centroid() Point {
+	if len(t) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range t {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(t)))
+}
+
+// Translate returns t shifted by d.
+func (t Trajectory) Translate(d Point) Trajectory {
+	out := make(Trajectory, len(t))
+	for i, p := range t {
+		out[i] = p.Add(d)
+	}
+	return out
+}
+
+// Rotate returns t rotated by theta about the given center.
+func (t Trajectory) Rotate(theta float64, center Point) Trajectory {
+	out := make(Trajectory, len(t))
+	for i, p := range t {
+		out[i] = p.Sub(center).Rotate(theta).Add(center)
+	}
+	return out
+}
+
+// Scale returns t scaled by s about the given center.
+func (t Trajectory) Scale(s float64, center Point) Trajectory {
+	out := make(Trajectory, len(t))
+	for i, p := range t {
+		out[i] = p.Sub(center).Scale(s).Add(center)
+	}
+	return out
+}
+
+// PathLength returns the total arc length of t.
+func (t Trajectory) PathLength() float64 {
+	l := 0.0
+	for i := 1; i < len(t); i++ {
+		l += t[i].Dist(t[i-1])
+	}
+	return l
+}
+
+// BoundingBox returns the axis-aligned min and max corners of t. An empty
+// trajectory returns two zero points.
+func (t Trajectory) BoundingBox() (min, max Point) {
+	if len(t) == 0 {
+		return Point{}, Point{}
+	}
+	min, max = t[0], t[0]
+	for _, p := range t[1:] {
+		min.X = math.Min(min.X, p.X)
+		min.Y = math.Min(min.Y, p.Y)
+		max.X = math.Max(max.X, p.X)
+		max.Y = math.Max(max.Y, p.Y)
+	}
+	return min, max
+}
+
+// RangeOfMotion returns the diagonal of the bounding box: the paper's
+// "range of motion" measure used to classify traces into five classes.
+func (t Trajectory) RangeOfMotion() float64 {
+	min, max := t.BoundingBox()
+	return max.Sub(min).Norm()
+}
+
+// Resample returns t resampled to n points uniformly spaced in arc-length
+// parameterization. n <= 0 returns nil; an empty input returns nil; a
+// single-point input repeats that point.
+func (t Trajectory) Resample(n int) Trajectory {
+	if n <= 0 || len(t) == 0 {
+		return nil
+	}
+	out := make(Trajectory, n)
+	if len(t) == 1 {
+		for i := range out {
+			out[i] = t[0]
+		}
+		return out
+	}
+	// Cumulative arc lengths.
+	cum := make([]float64, len(t))
+	for i := 1; i < len(t); i++ {
+		cum[i] = cum[i-1] + t[i].Dist(t[i-1])
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		for i := range out {
+			out[i] = t[0]
+		}
+		return out
+	}
+	seg := 0
+	for i := 0; i < n; i++ {
+		target := total * float64(i) / float64(n-1)
+		for seg < len(t)-2 && cum[seg+1] < target {
+			seg++
+		}
+		segLen := cum[seg+1] - cum[seg]
+		frac := 0.0
+		if segLen > 0 {
+			frac = (target - cum[seg]) / segLen
+		}
+		out[i] = Lerp(t[seg], t[seg+1], frac)
+	}
+	return out
+}
+
+// Velocities returns the per-step displacement vectors (length len(t)-1)
+// scaled by the sample rate fs so the result is in m/s.
+func (t Trajectory) Velocities(fs float64) []Point {
+	if len(t) < 2 {
+		return nil
+	}
+	out := make([]Point, len(t)-1)
+	for i := 1; i < len(t); i++ {
+		out[i-1] = t[i].Sub(t[i-1]).Scale(fs)
+	}
+	return out
+}
+
+// Speeds returns the per-step speeds in m/s at sample rate fs.
+func (t Trajectory) Speeds(fs float64) []float64 {
+	v := t.Velocities(fs)
+	out := make([]float64, len(v))
+	for i, p := range v {
+		out[i] = p.Norm()
+	}
+	return out
+}
+
+// TurningAngles returns the signed heading change at each interior point in
+// radians (length max(len(t)-2, 0)). Stationary steps contribute 0.
+func (t Trajectory) TurningAngles() []float64 {
+	if len(t) < 3 {
+		return nil
+	}
+	out := make([]float64, len(t)-2)
+	for i := 1; i < len(t)-1; i++ {
+		a := t[i].Sub(t[i-1])
+		b := t[i+1].Sub(t[i])
+		if a.Norm() < 1e-12 || b.Norm() < 1e-12 {
+			out[i-1] = 0
+			continue
+		}
+		out[i-1] = AngleDiff(b.Angle(), a.Angle())
+	}
+	return out
+}
+
+// MeanPointwiseError returns the mean Euclidean distance between
+// corresponding points of a and b, after resampling both to the length of
+// the shorter one. Empty inputs return +Inf.
+func MeanPointwiseError(a, b Trajectory) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	ar := a.Resample(n)
+	br := b.Resample(n)
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += ar[i].Dist(br[i])
+	}
+	return s / float64(n)
+}
+
+// PointwiseErrors returns per-point distances between a and b after
+// resampling both to n points.
+func PointwiseErrors(a, b Trajectory, n int) []float64 {
+	ar := a.Resample(n)
+	br := b.Resample(n)
+	if len(ar) != n || len(br) != n {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = ar[i].Dist(br[i])
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import "math"
+
+// ContingencyTable2x2 is the user-study outcome layout of Table 1:
+// rows = ground truth (real, fake), columns = perception (real, fake).
+type ContingencyTable2x2 struct {
+	RealReal, RealFake int // real trajectories perceived real / fake
+	FakeReal, FakeFake int // fake trajectories perceived real / fake
+}
+
+// ChiSquared returns Pearson's χ² statistic and its p-value (1 degree of
+// freedom) for the 2×2 table. A large p-value means perception and ground
+// truth are statistically independent — the paper's result (χ²≈0.2, p≈0.65)
+// showing humans cannot tell RF-Protect trajectories from real ones.
+func (c ContingencyTable2x2) ChiSquared() (chi2, p float64) {
+	row1 := float64(c.RealReal + c.RealFake)
+	row2 := float64(c.FakeReal + c.FakeFake)
+	col1 := float64(c.RealReal + c.FakeReal)
+	col2 := float64(c.RealFake + c.FakeFake)
+	n := row1 + row2
+	if n == 0 || row1 == 0 || row2 == 0 || col1 == 0 || col2 == 0 {
+		return 0, 1
+	}
+	obs := []float64{float64(c.RealReal), float64(c.RealFake), float64(c.FakeReal), float64(c.FakeFake)}
+	exp := []float64{row1 * col1 / n, row1 * col2 / n, row2 * col1 / n, row2 * col2 / n}
+	for i := range obs {
+		d := obs[i] - exp[i]
+		chi2 += d * d / exp[i]
+	}
+	return chi2, ChiSquaredSurvival(chi2, 1)
+}
+
+// ChiSquaredSurvival returns P(X > x) for a χ² distribution with k degrees
+// of freedom, via the regularized upper incomplete gamma function
+// Q(k/2, x/2).
+func ChiSquaredSurvival(x float64, k int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperIncompleteGammaRegularized(float64(k)/2, x/2)
+}
+
+// upperIncompleteGammaRegularized computes Q(a, x) = Γ(a, x)/Γ(a) with the
+// standard series (x < a+1) / continued-fraction (x >= a+1) split
+// (Numerical Recipes §6.2).
+func upperIncompleteGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerSeries(a, x)
+	}
+	return upperContinuedFraction(a, x)
+}
+
+func lowerSeries(a, x float64) float64 {
+	lgamma, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lgamma)
+}
+
+func upperContinuedFraction(a, x float64) float64 {
+	lgamma, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lgamma) * h
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"math"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+)
+
+// SpoofErrors collects the three per-point error populations of Fig. 11 for
+// one spoofed trajectory: distance (polar radius from the radar), angle, and
+// 2-D location after rigid alignment.
+type SpoofErrors struct {
+	Distance []float64 // meters, |r_measured - r_intended| (Fig. 11a)
+	Angle    []float64 // degrees, |θ_measured - θ_intended| (Fig. 11b)
+	Location []float64 // meters, residual after rotation+translation (Fig. 11c)
+}
+
+// Merge appends the error populations of o.
+func (s *SpoofErrors) Merge(o SpoofErrors) {
+	s.Distance = append(s.Distance, o.Distance...)
+	s.Angle = append(s.Angle, o.Angle...)
+	s.Location = append(s.Location, o.Location...)
+}
+
+// Medians returns the medians of the three populations.
+func (s *SpoofErrors) Medians() (dist, angle, loc float64) {
+	return dsp.Median(s.Distance), dsp.Median(s.Angle), dsp.Median(s.Location)
+}
+
+// EvaluateSpoof compares a measured trajectory against the intended one, as
+// §11.1 does: per-point range and bearing deviations in the radar's polar
+// frame, and 2-D location error modulo translation and rotation of the
+// entire trajectory. Both trajectories are resampled to the shorter length.
+func EvaluateSpoof(measured, intended geom.Trajectory, radar fmcw.Array) SpoofErrors {
+	var out SpoofErrors
+	if len(measured) == 0 || len(intended) == 0 {
+		return out
+	}
+	n := len(measured)
+	if len(intended) < n {
+		n = len(intended)
+	}
+	m := measured.Resample(n)
+	g := intended.Resample(n)
+	for i := 0; i < n; i++ {
+		rm := radar.DistanceOf(m[i])
+		rg := radar.DistanceOf(g[i])
+		out.Distance = append(out.Distance, math.Abs(rm-rg))
+		am := radar.AoAOf(m[i])
+		ag := radar.AoAOf(g[i])
+		out.Angle = append(out.Angle, math.Abs(geom.AngleDiff(am, ag))*180/math.Pi)
+	}
+	out.Location = geom.AlignedErrors(m, g)
+	return out
+}

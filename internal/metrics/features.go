@@ -1,0 +1,90 @@
+// Package metrics implements the evaluation metrics of §11: the Fréchet
+// Inception Distance (FID) adapted to trajectories, its normalized form from
+// Fig. 12, Pearson's χ² test for the Table 1 user study, and spoofing-error
+// aggregation for Fig. 11.
+package metrics
+
+import (
+	"math"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/geom"
+)
+
+// FeatureDim is the dimensionality of the trajectory embedding.
+const FeatureDim = 10
+
+// Features embeds a trajectory into a FeatureDim-dimensional descriptor
+// capturing the properties humans and classifiers key on: speed statistics,
+// smoothness (turning angles, velocity autocorrelation), pausing, extent,
+// and straightness. FID is computed between Gaussians fitted to these
+// descriptors — the role the Inception network plays for images.
+func Features(t geom.Trajectory) []float64 {
+	f := make([]float64, FeatureDim)
+	if len(t) < 3 {
+		return f
+	}
+	steps := make([]float64, len(t)-1)
+	for i := 1; i < len(t); i++ {
+		steps[i-1] = t[i].Dist(t[i-1])
+	}
+	turns := t.TurningAngles()
+	absTurns := make([]float64, len(turns))
+	for i, a := range turns {
+		absTurns[i] = math.Abs(a)
+	}
+	pathLen := t.PathLength()
+	net := t[len(t)-1].Dist(t[0])
+	rom := t.RangeOfMotion()
+
+	// Lag-1 velocity autocorrelation (smoothness).
+	vels := t.Velocities(1)
+	var num, den float64
+	for i := 1; i < len(vels); i++ {
+		num += vels[i].Dot(vels[i-1])
+	}
+	for _, v := range vels {
+		den += v.Dot(v)
+	}
+	autocorr := 0.0
+	if den > 1e-12 {
+		autocorr = num / den
+	}
+	// Pause fraction: steps below 2 cm.
+	pauses := 0
+	for _, s := range steps {
+		if s < 0.02 {
+			pauses++
+		}
+	}
+
+	f[0] = dsp.Mean(steps)
+	f[1] = dsp.StdDev(steps)
+	f[2] = dsp.Percentile(steps, 95)
+	f[3] = dsp.Mean(absTurns)
+	f[4] = dsp.StdDev(absTurns)
+	f[5] = rom
+	// Tortuosity is unbounded for near-stationary traces; clamp so a single
+	// degenerate trace cannot dominate the Gaussian fit.
+	f[6] = math.Min(safeDiv(pathLen, rom), 20)
+	f[7] = autocorr
+	f[8] = float64(pauses) / float64(len(steps))
+	f[9] = safeDiv(net, pathLen)
+	return f
+}
+
+func safeDiv(a, b float64) float64 {
+	if b < 1e-12 {
+		return 0
+	}
+	return a / b
+}
+
+// FeatureSet embeds every trajectory in the set.
+func FeatureSet(trs []geom.Trajectory) [][]float64 {
+	out := make([][]float64, len(trs))
+	for i, t := range trs {
+		out[i] = Features(t)
+	}
+	return out
+}

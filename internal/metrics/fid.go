@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"math"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/geom"
+)
+
+// FID computes the Fréchet distance between Gaussians fitted to two feature
+// sets:
+//
+//	FID = |μ₁-μ₂|² + Tr(Σ₁ + Σ₂ - 2·(Σ₁^½ Σ₂ Σ₁^½)^½)
+//
+// A small ridge is added to both covariances for numerical robustness, as
+// is standard practice in FID implementations.
+func FID(a, b [][]float64) float64 {
+	if len(a) < 2 || len(b) < 2 {
+		return math.NaN()
+	}
+	mu1 := dsp.MeanVec(a)
+	mu2 := dsp.MeanVec(b)
+	s1 := dsp.CovarianceMatrix(a)
+	s2 := dsp.CovarianceMatrix(b)
+	d := len(mu1)
+	const ridge = 1e-9
+	for i := 0; i < d; i++ {
+		s1.Data[i*d+i] += ridge
+		s2.Data[i*d+i] += ridge
+	}
+	meanTerm := 0.0
+	for i := range mu1 {
+		diff := mu1[i] - mu2[i]
+		meanTerm += diff * diff
+	}
+	// sqrtm(Σ₁Σ₂) via the symmetric form Σ₁^½ Σ₂ Σ₁^½.
+	s1half := dsp.SqrtSPD(s1)
+	inner := s1half.Mul(s2).Mul(s1half)
+	// Symmetrize against round-off before the final square root.
+	innerT := inner.Transpose()
+	sym := inner.Add(innerT).Scale(0.5)
+	covSqrt := dsp.SqrtSPD(sym)
+	covTerm := s1.Trace() + s2.Trace() - 2*covSqrt.Trace()
+	if covTerm < 0 {
+		covTerm = 0
+	}
+	return meanTerm + covTerm
+}
+
+// TrajectoryFID computes FID between two trajectory sets via the Features
+// embedding.
+func TrajectoryFID(a, b []geom.Trajectory) float64 {
+	return FID(FeatureSet(a), FeatureSet(b))
+}
+
+// NormalizedFID reproduces Fig. 12 (right): candidate-vs-real FID divided by
+// the FID between two disjoint real splits, so a perfectly realistic
+// candidate scores ~1.
+func NormalizedFID(candidate, realRef, realSplitA, realSplitB []geom.Trajectory) float64 {
+	base := TrajectoryFID(realSplitA, realSplitB)
+	if base <= 0 || math.IsNaN(base) {
+		return math.NaN()
+	}
+	return TrajectoryFID(candidate, realRef) / base
+}

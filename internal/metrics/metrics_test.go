@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/motion"
+)
+
+func TestFeaturesShapeAndDegenerate(t *testing.T) {
+	f := Features(geom.Trajectory{{X: 0, Y: 0}})
+	if len(f) != FeatureDim {
+		t.Fatalf("dim %d", len(f))
+	}
+	for _, v := range f {
+		if v != 0 {
+			t.Fatal("degenerate trajectory should embed to zero")
+		}
+	}
+	ds := motion.Generate(20, 1)
+	fs := FeatureSet(ds.Traces)
+	if len(fs) != 20 {
+		t.Fatal("FeatureSet count")
+	}
+	for _, f := range fs {
+		for i, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("feature %d is %v", i, v)
+			}
+		}
+	}
+}
+
+func TestFeaturesDiscriminate(t *testing.T) {
+	// Straight-line motion: straightness ~1, turns ~0. Random walk: rough.
+	line := geom.Trajectory{}
+	for i := 0; i < 50; i++ {
+		line = append(line, geom.Point{X: float64(i) * 0.2, Y: 0})
+	}
+	fl := Features(line)
+	if math.Abs(fl[9]-1) > 1e-9 {
+		t.Fatalf("line straightness %v", fl[9])
+	}
+	if fl[3] > 1e-9 {
+		t.Fatalf("line mean turn %v", fl[3])
+	}
+	rw := motion.RandomWalk(1, 2)[0]
+	fr := Features(rw)
+	if fr[3] < 0.5 {
+		t.Fatalf("random-walk mean turn %v too small", fr[3])
+	}
+}
+
+func TestFIDIdenticalSetsNearZero(t *testing.T) {
+	ds := motion.Generate(300, 3)
+	fid := TrajectoryFID(ds.Traces, ds.Traces)
+	if fid > 1e-6 {
+		t.Fatalf("self-FID %v", fid)
+	}
+}
+
+func TestFIDSplitsSmall(t *testing.T) {
+	ds := motion.Generate(600, 4)
+	a, b := ds.Split()
+	selfFID := TrajectoryFID(a.Traces, b.Traces)
+	randFID := TrajectoryFID(motion.RandomWalk(300, 5), a.Traces)
+	if selfFID <= 0 {
+		t.Fatalf("split FID %v should be positive", selfFID)
+	}
+	if randFID < 10*selfFID {
+		t.Fatalf("random-walk FID %v not clearly above split FID %v", randFID, selfFID)
+	}
+}
+
+func TestFIDOrderingOfBaselines(t *testing.T) {
+	// The qualitative claim of Fig. 12 (right): Random is the worst match to
+	// real data and real-vs-real is the best.
+	ds := motion.Generate(800, 6)
+	a, b := ds.Split()
+	real2real := TrajectoryFID(a.Traces, b.Traces)
+	single := TrajectoryFID(motion.SingleTraj(400, 7), a.Traces)
+	ulm := TrajectoryFID(motion.ULM(400, 8), a.Traces)
+	random := TrajectoryFID(motion.RandomWalk(400, 9), a.Traces)
+	if !(real2real < single && real2real < ulm && real2real < random) {
+		t.Fatalf("real-vs-real %v not the minimum (single %v ulm %v random %v)", real2real, single, ulm, random)
+	}
+	if random < single || random < ulm {
+		t.Fatalf("random %v should be the worst (single %v ulm %v)", random, single, ulm)
+	}
+}
+
+func TestNormalizedFID(t *testing.T) {
+	ds := motion.Generate(600, 10)
+	a, b := ds.Split()
+	// Real split vs real: normalized ~1 by construction.
+	n := NormalizedFID(a.Traces, b.Traces, a.Traces, b.Traces)
+	if math.Abs(n-1) > 1e-9 {
+		t.Fatalf("self-normalized FID %v", n)
+	}
+	r := NormalizedFID(motion.RandomWalk(300, 11), b.Traces, a.Traces, b.Traces)
+	if r < 2 {
+		t.Fatalf("random normalized FID %v should be large", r)
+	}
+}
+
+func TestChiSquaredIndependentTable(t *testing.T) {
+	// The paper's Table 1: χ² ≈ 0.2, p ≈ 0.65.
+	c := ContingencyTable2x2{RealReal: 93, RealFake: 67, FakeReal: 89, FakeFake: 71}
+	chi2, p := c.ChiSquared()
+	if math.Abs(chi2-0.2) > 0.05 {
+		t.Fatalf("chi2 = %v, paper reports ~0.2", chi2)
+	}
+	if math.Abs(p-0.65) > 0.03 {
+		t.Fatalf("p = %v, paper reports ~0.65", p)
+	}
+}
+
+func TestChiSquaredDependentTable(t *testing.T) {
+	// A panel that can tell: strong dependence, tiny p.
+	c := ContingencyTable2x2{RealReal: 140, RealFake: 20, FakeReal: 20, FakeFake: 140}
+	chi2, p := c.ChiSquared()
+	if chi2 < 50 {
+		t.Fatalf("chi2 = %v too small", chi2)
+	}
+	if p > 1e-6 {
+		t.Fatalf("p = %v too large", p)
+	}
+}
+
+func TestChiSquaredDegenerate(t *testing.T) {
+	chi2, p := (ContingencyTable2x2{}).ChiSquared()
+	if chi2 != 0 || p != 1 {
+		t.Fatalf("empty table: chi2 %v p %v", chi2, p)
+	}
+}
+
+func TestChiSquaredSurvivalValues(t *testing.T) {
+	// Known quantiles: P(X>3.841 | k=1) ≈ 0.05, P(X>6.635 | k=1) ≈ 0.01,
+	// P(X>5.991 | k=2) ≈ 0.05.
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{6.635, 1, 0.01},
+		{5.991, 2, 0.05},
+		{0, 1, 1},
+	}
+	for _, c := range cases {
+		got := ChiSquaredSurvival(c.x, c.k)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("Q(%v, k=%d) = %v, want %v", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateSpoofPerfect(t *testing.T) {
+	radar := fmcw.Array{Position: geom.Point{}, Facing: 1}
+	tr := geom.Trajectory{{X: 1, Y: 2}, {X: 2, Y: 3}, {X: 3, Y: 3}}
+	e := EvaluateSpoof(tr, tr, radar)
+	d, a, l := e.Medians()
+	if d > 1e-9 || a > 1e-9 || l > 1e-9 {
+		t.Fatalf("perfect spoof has errors %v %v %v", d, a, l)
+	}
+}
+
+func TestEvaluateSpoofKnownOffsets(t *testing.T) {
+	radar := fmcw.Array{Position: geom.Point{}, AxisAngle: 0, Facing: 1}
+	intended := geom.Trajectory{{X: 0, Y: 2}, {X: 0, Y: 3}, {X: 0, Y: 4}}
+	// Measured 0.5 m farther in range, same bearing.
+	measured := geom.Trajectory{{X: 0, Y: 2.5}, {X: 0, Y: 3.5}, {X: 0, Y: 4.5}}
+	e := EvaluateSpoof(measured, intended, radar)
+	d, a, _ := e.Medians()
+	if math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("distance error %v, want 0.5", d)
+	}
+	if a > 1e-9 {
+		t.Fatalf("angle error %v, want 0", a)
+	}
+	// Pure translation: location error after alignment ~0.
+	if l := e.Location; l[0] > 1e-9 {
+		t.Fatalf("aligned location error %v, want 0", l[0])
+	}
+}
+
+func TestSpoofErrorsMerge(t *testing.T) {
+	a := SpoofErrors{Distance: []float64{1}, Angle: []float64{2}, Location: []float64{3}}
+	b := SpoofErrors{Distance: []float64{4}, Angle: []float64{5}, Location: []float64{6}}
+	a.Merge(b)
+	if len(a.Distance) != 2 || len(a.Angle) != 2 || len(a.Location) != 2 {
+		t.Fatal("merge lengths")
+	}
+	d, ang, l := a.Medians()
+	if d != 2.5 || ang != 3.5 || l != 4.5 {
+		t.Fatalf("medians %v %v %v", d, ang, l)
+	}
+}

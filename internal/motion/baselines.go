@@ -1,0 +1,66 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+
+	"rfprotect/internal/geom"
+)
+
+// The three baseline trajectory families RF-Protect's cGAN is compared
+// against in Fig. 12 (right). Each produces TraceLen-point traces.
+
+// SingleTraj returns traces of one fixed trajectory — a loop the "user"
+// performs repeatedly — with only tiny execution noise. The eavesdropper's
+// counter is that repeating the identical path is not human (§6).
+func SingleTraj(n int, seed int64) []geom.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Trajectory, n)
+	for i := range out {
+		tr := make(geom.Trajectory, TraceLen)
+		for j := 0; j < TraceLen; j++ {
+			// A figure-eight walked over the trace duration.
+			ph := 2 * math.Pi * float64(j) / float64(TraceLen-1)
+			tr[j] = geom.Point{
+				X: 1.5*math.Sin(ph) + rng.NormFloat64()*0.01,
+				Y: 0.8*math.Sin(2*ph) + rng.NormFloat64()*0.01,
+			}
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+// ULM returns uniform-linear-motion traces: constant velocity between two
+// random endpoints. Smooth but unrealistically regular.
+func ULM(n int, seed int64) []geom.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Trajectory, n)
+	for i := range out {
+		a := geom.Point{X: rng.NormFloat64() * 1.5, Y: rng.NormFloat64() * 1.5}
+		b := geom.Point{X: rng.NormFloat64() * 1.5, Y: rng.NormFloat64() * 1.5}
+		tr := make(geom.Trajectory, TraceLen)
+		for j := 0; j < TraceLen; j++ {
+			tr[j] = geom.Lerp(a, b, float64(j)/float64(TraceLen-1))
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+// RandomWalk returns white-noise random motion: independent steps with no
+// smoothness or continuity. Easily flagged as noise by an eavesdropper.
+func RandomWalk(n int, seed int64) []geom.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Trajectory, n)
+	for i := range out {
+		tr := make(geom.Trajectory, TraceLen)
+		var p geom.Point
+		for j := 0; j < TraceLen; j++ {
+			p = p.Add(geom.Point{X: rng.NormFloat64() * 0.35, Y: rng.NormFloat64() * 0.35})
+			tr[j] = p
+		}
+		out[i] = tr
+	}
+	return out
+}

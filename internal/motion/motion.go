@@ -1,0 +1,179 @@
+// Package motion generates the human-trajectory corpus the paper collected
+// from volunteers (7000 traces of ~10 s, 50 2-D points each, §6) and the
+// baseline trajectory families of Fig. 12 (single repeated trajectory,
+// uniform linear motion, random motion).
+//
+// The generative model is a waypoint walker with Ornstein–Uhlenbeck velocity
+// dynamics: people head toward successive goals with smooth accelerations,
+// occasionally pausing — which yields the smoothness and continuity the
+// paper identifies as the signature of real human motion.
+package motion
+
+import (
+	"math"
+	"math/rand"
+
+	"rfprotect/internal/geom"
+)
+
+// TraceLen is the number of points per trace, matching the paper's dataset.
+const TraceLen = 50
+
+// SampleRate is the trace sample rate in Hz (50 points over ~10 s).
+const SampleRate = 5.0
+
+// NumClasses is the number of range-of-motion classes (§6).
+const NumClasses = 5
+
+// classBounds are the range-of-motion thresholds (meters) separating the
+// five classes: [0,1), [1,2), [2,3.5), [3.5,5.5), [5.5,∞).
+var classBounds = [NumClasses - 1]float64{1.0, 2.0, 3.5, 5.5}
+
+// Classify returns the range class (0..4) of a trajectory from its range of
+// motion, the paper's coarse label fed to the conditional GAN.
+func Classify(t geom.Trajectory) int {
+	r := t.RangeOfMotion()
+	for i, b := range classBounds {
+		if r < b {
+			return i
+		}
+	}
+	return NumClasses - 1
+}
+
+// Config tunes the human walker.
+type Config struct {
+	Speed        float64 // preferred walking speed in m/s
+	SpeedJitter  float64 // per-trace speed variation
+	Relax        float64 // velocity relaxation rate (1/s); higher = snappier
+	PauseProb    float64 // probability per waypoint of pausing
+	PauseMean    float64 // mean pause duration in seconds
+	AreaRadius   float64 // radius of the roaming area in meters
+	WaypointStop float64 // distance at which a waypoint counts as reached
+}
+
+// DefaultConfig returns typical indoor ambling/walking behavior.
+func DefaultConfig() Config {
+	return Config{
+		Speed:        1.0,
+		SpeedJitter:  0.4,
+		Relax:        1.5,
+		PauseProb:    0.25,
+		PauseMean:    1.0,
+		AreaRadius:   3.0,
+		WaypointStop: 0.25,
+	}
+}
+
+// Generator produces human-like trajectories.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator seeded deterministically.
+func NewGenerator(cfg Config, seed int64) *Generator {
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Trace generates one TraceLen-point trajectory starting at the origin.
+// The walker roams an area whose radius is drawn per trace, which spreads
+// traces across all five range classes.
+func (g *Generator) Trace() geom.Trajectory {
+	cfg := g.cfg
+	// Per-trace personality: speed and roaming radius.
+	speed := cfg.Speed + cfg.SpeedJitter*g.rng.NormFloat64()
+	if speed < 0.15 {
+		speed = 0.15
+	}
+	area := cfg.AreaRadius * (0.15 + 1.7*g.rng.Float64())
+	dt := 1 / SampleRate
+	pos := geom.Point{}
+	var vel geom.Point
+	goal := g.randomGoal(area)
+	pauseLeft := 0.0
+	out := make(geom.Trajectory, TraceLen)
+	out[0] = pos
+	for i := 1; i < TraceLen; i++ {
+		if pauseLeft > 0 {
+			pauseLeft -= dt
+			// Small sway while paused.
+			pos = pos.Add(geom.Point{X: g.rng.NormFloat64() * 0.005, Y: g.rng.NormFloat64() * 0.005})
+			vel = geom.Point{}
+			out[i] = pos
+			continue
+		}
+		if pos.Dist(goal) < cfg.WaypointStop {
+			goal = g.randomGoal(area)
+			if g.rng.Float64() < cfg.PauseProb {
+				pauseLeft = cfg.PauseMean * (0.5 + g.rng.Float64())
+			}
+		}
+		// OU relaxation toward the goal direction at preferred speed.
+		dir := goal.Sub(pos)
+		if n := dir.Norm(); n > 1e-9 {
+			dir = dir.Scale(1 / n)
+		}
+		want := dir.Scale(speed)
+		vel = vel.Add(want.Sub(vel).Scale(cfg.Relax * dt))
+		// Smooth stochastic steering.
+		vel = vel.Add(geom.Point{X: g.rng.NormFloat64(), Y: g.rng.NormFloat64()}.Scale(0.08 * math.Sqrt(dt)))
+		pos = pos.Add(vel.Scale(dt))
+		out[i] = pos
+	}
+	return out
+}
+
+func (g *Generator) randomGoal(area float64) geom.Point {
+	a := g.rng.Float64() * 2 * math.Pi
+	r := area * math.Sqrt(g.rng.Float64())
+	return geom.Point{X: r * math.Cos(a), Y: r * math.Sin(a)}
+}
+
+// Dataset is a labeled trajectory corpus.
+type Dataset struct {
+	Traces []geom.Trajectory
+	Labels []int
+}
+
+// Generate produces n traces with range-class labels — the stand-in for the
+// paper's 7000-trace office corpus.
+func Generate(n int, seed int64) Dataset {
+	g := NewGenerator(DefaultConfig(), seed)
+	ds := Dataset{
+		Traces: make([]geom.Trajectory, n),
+		Labels: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		tr := g.Trace()
+		ds.Traces[i] = tr
+		ds.Labels[i] = Classify(tr)
+	}
+	return ds
+}
+
+// ByClass groups trace indices by label.
+func (d Dataset) ByClass() [NumClasses][]int {
+	var out [NumClasses][]int
+	for i, l := range d.Labels {
+		if l >= 0 && l < NumClasses {
+			out[l] = append(out[l], i)
+		}
+	}
+	return out
+}
+
+// Split partitions the dataset into two halves deterministically
+// (even/odd), used to compute the real-vs-real FID normalizer.
+func (d Dataset) Split() (a, b Dataset) {
+	for i := range d.Traces {
+		if i%2 == 0 {
+			a.Traces = append(a.Traces, d.Traces[i])
+			a.Labels = append(a.Labels, d.Labels[i])
+		} else {
+			b.Traces = append(b.Traces, d.Traces[i])
+			b.Labels = append(b.Labels, d.Labels[i])
+		}
+	}
+	return a, b
+}

@@ -1,0 +1,162 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/geom"
+)
+
+func TestGenerateShape(t *testing.T) {
+	ds := Generate(200, 1)
+	if len(ds.Traces) != 200 || len(ds.Labels) != 200 {
+		t.Fatalf("sizes %d/%d", len(ds.Traces), len(ds.Labels))
+	}
+	for i, tr := range ds.Traces {
+		if len(tr) != TraceLen {
+			t.Fatalf("trace %d has %d points", i, len(tr))
+		}
+		if tr[0] != (geom.Point{}) {
+			t.Fatalf("trace %d does not start at origin", i)
+		}
+		if l := ds.Labels[i]; l < 0 || l >= NumClasses {
+			t.Fatalf("label %d out of range", l)
+		}
+		if ds.Labels[i] != Classify(tr) {
+			t.Fatal("label inconsistent with Classify")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(5, 42)
+	b := Generate(5, 42)
+	for i := range a.Traces {
+		for j := range a.Traces[i] {
+			if a.Traces[i][j] != b.Traces[i][j] {
+				t.Fatal("same seed must reproduce the corpus")
+			}
+		}
+	}
+	c := Generate(5, 43)
+	same := true
+	for j := range a.Traces[0] {
+		if a.Traces[0][j] != c.Traces[0][j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestCorpusCoversAllClasses(t *testing.T) {
+	ds := Generate(1000, 7)
+	byClass := ds.ByClass()
+	for c, idxs := range byClass {
+		if len(idxs) == 0 {
+			t.Fatalf("class %d empty", c)
+		}
+	}
+}
+
+func TestTracesHaveHumanSpeeds(t *testing.T) {
+	ds := Generate(300, 3)
+	var speeds []float64
+	for _, tr := range ds.Traces {
+		speeds = append(speeds, tr.Speeds(SampleRate)...)
+	}
+	med := dsp.Median(speeds)
+	if med < 0.05 || med > 2.5 {
+		t.Fatalf("median speed %v m/s is not human walking", med)
+	}
+	if p99 := dsp.Percentile(speeds, 99); p99 > 4.0 {
+		t.Fatalf("99th percentile speed %v m/s is superhuman", p99)
+	}
+}
+
+func TestTracesAreSmootherThanRandom(t *testing.T) {
+	// Mean absolute turning angle of human traces must be well below a
+	// white-noise random walk's (which is ~uniform, mean π/2).
+	ds := Generate(100, 5)
+	var human []float64
+	for _, tr := range ds.Traces {
+		for _, a := range tr.TurningAngles() {
+			human = append(human, math.Abs(a))
+		}
+	}
+	var rnd []float64
+	for _, tr := range RandomWalk(100, 6) {
+		for _, a := range tr.TurningAngles() {
+			rnd = append(rnd, math.Abs(a))
+		}
+	}
+	if dsp.Mean(human) >= 0.75*dsp.Mean(rnd) {
+		t.Fatalf("human turning %v not smoother than random %v", dsp.Mean(human), dsp.Mean(rnd))
+	}
+}
+
+func TestClassify(t *testing.T) {
+	small := geom.Trajectory{{X: 0, Y: 0}, {X: 0.3, Y: 0.3}}
+	if Classify(small) != 0 {
+		t.Fatalf("small range class %d", Classify(small))
+	}
+	big := geom.Trajectory{{X: 0, Y: 0}, {X: 8, Y: 0}}
+	if Classify(big) != NumClasses-1 {
+		t.Fatalf("large range class %d", Classify(big))
+	}
+	mid := geom.Trajectory{{X: 0, Y: 0}, {X: 2.5, Y: 0}}
+	if got := Classify(mid); got != 2 {
+		t.Fatalf("mid range class %d", got)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := Generate(10, 1)
+	a, b := ds.Split()
+	if len(a.Traces) != 5 || len(b.Traces) != 5 {
+		t.Fatalf("split sizes %d/%d", len(a.Traces), len(b.Traces))
+	}
+	if a.Traces[0][1] != ds.Traces[0][1] || b.Traces[0][1] != ds.Traces[1][1] {
+		t.Fatal("split order wrong")
+	}
+}
+
+func TestSingleTrajIsRepetitive(t *testing.T) {
+	trs := SingleTraj(10, 1)
+	if len(trs) != 10 {
+		t.Fatal("count")
+	}
+	// All traces nearly identical.
+	for _, tr := range trs[1:] {
+		if e := geom.MeanPointwiseError(tr, trs[0]); e > 0.05 {
+			t.Fatalf("single-traj traces differ by %v", e)
+		}
+	}
+}
+
+func TestULMIsLinear(t *testing.T) {
+	for _, tr := range ULM(10, 2) {
+		for _, a := range tr.TurningAngles() {
+			if math.Abs(a) > 1e-9 {
+				t.Fatalf("ULM trace turns by %v", a)
+			}
+		}
+	}
+}
+
+func TestRandomWalkIsRough(t *testing.T) {
+	trs := RandomWalk(50, 3)
+	var angles []float64
+	for _, tr := range trs {
+		for _, a := range tr.TurningAngles() {
+			angles = append(angles, math.Abs(a))
+		}
+	}
+	// White-noise headings: mean |turn| near π/2.
+	if m := dsp.Mean(angles); m < 1.0 {
+		t.Fatalf("random walk too smooth: mean |turn| %v", m)
+	}
+}

@@ -1,0 +1,54 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba '15) — the optimizer the
+// paper trains its cGAN with (§9.2, lr 1e-4 generator / 2e-4 discriminator).
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+	m, v  map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with the standard β₁=0.9, β₂=0.999.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*Param][]float64),
+		v:     make(map[*Param][]float64),
+	}
+}
+
+// Step applies one update to every parameter from its accumulated gradient,
+// then leaves the gradients untouched (call ZeroGrads before the next
+// accumulation).
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Value.Data))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.Value.Data))
+			a.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			p.Value.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}

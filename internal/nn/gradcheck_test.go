@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGrad perturbs each entry of p.Value and measures the change in
+// loss() to approximate dLoss/dp.
+func numericalGrad(p *Param, loss func() float64) []float64 {
+	const eps = 1e-6
+	out := make([]float64, len(p.Value.Data))
+	for i := range p.Value.Data {
+		orig := p.Value.Data[i]
+		p.Value.Data[i] = orig + eps
+		lp := loss()
+		p.Value.Data[i] = orig - eps
+		lm := loss()
+		p.Value.Data[i] = orig
+		out[i] = (lp - lm) / (2 * eps)
+	}
+	return out
+}
+
+func checkGrads(t *testing.T, name string, p *Param, want []float64) {
+	t.Helper()
+	for i, w := range want {
+		got := p.Grad.Data[i]
+		scale := math.Max(math.Max(math.Abs(got), math.Abs(w)), 1e-4)
+		if math.Abs(got-w)/scale > 1e-4 {
+			t.Fatalf("%s grad[%d]: analytic %v numeric %v", name, i, got, w)
+		}
+	}
+}
+
+func TestLinearGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(4, 3, rng)
+	x := RandMat(5, 4, 1, rng)
+	target := RandMat(5, 3, 1, rng)
+	loss := func() float64 {
+		l.Reset()
+		y := l.Forward(x)
+		v, _ := MSE(y, target)
+		return v
+	}
+	ZeroGrads(l)
+	l.Reset()
+	y := l.Forward(x)
+	_, dy := MSE(y, target)
+	dx := l.Backward(dy)
+	checkGrads(t, "W", l.W, numericalGrad(l.W, loss))
+	checkGrads(t, "B", l.B, numericalGrad(l.B, loss))
+	// Check dx numerically too.
+	xp := newParam("x", x)
+	xp.Grad = dx
+	checkGrads(t, "x", xp, numericalGrad(xp, loss))
+}
+
+func TestEmbeddingGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEmbedding(5, 3, rng)
+	labels := []int{0, 2, 2, 4}
+	target := RandMat(4, 3, 1, rng)
+	loss := func() float64 {
+		e.Reset()
+		y := e.Forward(labels)
+		v, _ := MSE(y, target)
+		return v
+	}
+	ZeroGrads(e)
+	e.Reset()
+	y := e.Forward(labels)
+	_, dy := MSE(y, target)
+	e.Backward(dy)
+	checkGrads(t, "W", e.W, numericalGrad(e.W, loss))
+}
+
+func TestTanhGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var th TanhLayer
+	x := RandMat(3, 4, 1, rng)
+	target := RandMat(3, 4, 1, rng)
+	loss := func() float64 {
+		th.Reset()
+		y := th.Forward(x)
+		v, _ := MSE(y, target)
+		return v
+	}
+	th.Reset()
+	y := th.Forward(x)
+	_, dy := MSE(y, target)
+	dx := th.Backward(dy)
+	xp := newParam("x", x)
+	xp.Grad = dx
+	checkGrads(t, "x", xp, numericalGrad(xp, loss))
+}
+
+func TestLSTMGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewLSTM(3, 4, rng)
+	seq := 5
+	batch := 2
+	xs := make([]*Mat, seq)
+	targets := make([]*Mat, seq)
+	for i := range xs {
+		xs[i] = RandMat(batch, 3, 1, rng)
+		targets[i] = RandMat(batch, 4, 1, rng)
+	}
+	loss := func() float64 {
+		l.Reset()
+		hs := l.Forward(xs)
+		total := 0.0
+		for i, h := range hs {
+			v, _ := MSE(h, targets[i])
+			total += v
+		}
+		return total
+	}
+	ZeroGrads(l)
+	l.Reset()
+	hs := l.Forward(xs)
+	dhs := make([]*Mat, seq)
+	for i, h := range hs {
+		_, dhs[i] = MSE(h, targets[i])
+	}
+	dxs := l.Backward(dhs)
+	checkGrads(t, "Wx", l.Wx, numericalGrad(l.Wx, loss))
+	checkGrads(t, "Wh", l.Wh, numericalGrad(l.Wh, loss))
+	checkGrads(t, "B", l.B, numericalGrad(l.B, loss))
+	// Input gradient of the first timestep (flows through the whole BPTT).
+	xp := newParam("x0", xs[0])
+	xp.Grad = dxs[0]
+	checkGrads(t, "x0", xp, numericalGrad(xp, loss))
+}
+
+func TestBiLSTMGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := NewBiLSTM(3, 4, rng)
+	seq := 4
+	batch := 2
+	xs := make([]*Mat, seq)
+	targets := make([]*Mat, seq)
+	for i := range xs {
+		xs[i] = RandMat(batch, 3, 1, rng)
+		targets[i] = RandMat(batch, 8, 1, rng)
+	}
+	loss := func() float64 {
+		b.Reset()
+		hs := b.Forward(xs)
+		total := 0.0
+		for i, h := range hs {
+			v, _ := MSE(h, targets[i])
+			total += v
+		}
+		return total
+	}
+	ZeroGrads(b)
+	b.Reset()
+	hs := b.Forward(xs)
+	dhs := make([]*Mat, seq)
+	for i, h := range hs {
+		_, dhs[i] = MSE(h, targets[i])
+	}
+	dxs := b.Backward(dhs)
+	for _, p := range b.Params() {
+		checkGrads(t, p.Name, p, numericalGrad(p, loss))
+	}
+	xp := newParam("x1", xs[1])
+	xp.Grad = dxs[1]
+	checkGrads(t, "x1", xp, numericalGrad(xp, loss))
+}
+
+func TestBCEWithLogitsGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	logits := RandMat(4, 1, 2, rng)
+	targets := []float64{1, 0, 1, 0}
+	_, dl := BCEWithLogits(logits, targets)
+	lp := newParam("logits", logits)
+	lp.Grad = dl
+	loss := func() float64 {
+		v, _ := BCEWithLogits(logits, targets)
+		return v
+	}
+	checkGrads(t, "logits", lp, numericalGrad(lp, loss))
+}
+
+func TestDropoutGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDropout(0.5, rand.New(rand.NewSource(8)))
+	x := RandMat(3, 4, 1, rng)
+	target := RandMat(3, 4, 1, rng)
+	// Freeze a single mask by replaying the same rng seed.
+	d.rng = rand.New(rand.NewSource(9))
+	y := d.Forward(x)
+	_, dy := MSE(y, target)
+	dx := d.Backward(dy)
+	loss := func() float64 {
+		d.Reset()
+		d.rng = rand.New(rand.NewSource(9))
+		y := d.Forward(x)
+		v, _ := MSE(y, target)
+		return v
+	}
+	xp := newParam("x", x)
+	xp.Grad = dx
+	checkGrads(t, "x", xp, numericalGrad(xp, loss))
+}

@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Embedding maps integer class labels to dense vectors — the label
+// conditioning path of the cGAN (Fig. 6).
+type Embedding struct {
+	W *Param // (numClasses, dim)
+
+	stack [][]int
+}
+
+// NewEmbedding returns an embedding table for numClasses labels of the
+// given dimension.
+func NewEmbedding(numClasses, dim int, rng *rand.Rand) *Embedding {
+	return &Embedding{W: newParam("embedding.W", RandMat(numClasses, dim, 0.3, rng))}
+}
+
+// Forward looks up one row per label, returning (len(labels), dim).
+func (e *Embedding) Forward(labels []int) *Mat {
+	dim := e.W.Value.Cols
+	out := NewMat(len(labels), dim)
+	for i, l := range labels {
+		if l < 0 || l >= e.W.Value.Rows {
+			panic("nn: embedding label out of range")
+		}
+		copy(out.Data[i*dim:(i+1)*dim], e.W.Value.Data[l*dim:(l+1)*dim])
+	}
+	e.stack = append(e.stack, labels)
+	return out
+}
+
+// Backward scatters the upstream gradient into the table rows.
+func (e *Embedding) Backward(dy *Mat) {
+	if len(e.stack) == 0 {
+		panic("nn: Embedding.Backward without matching Forward")
+	}
+	labels := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	dim := e.W.Value.Cols
+	for i, l := range labels {
+		for j := 0; j < dim; j++ {
+			e.W.Grad.Data[l*dim+j] += dy.Data[i*dim+j]
+		}
+	}
+}
+
+// Reset discards cached lookups.
+func (e *Embedding) Reset() { e.stack = e.stack[:0] }
+
+// Params implements Module.
+func (e *Embedding) Params() []*Param { return []*Param{e.W} }
+
+// Sigmoid returns 1/(1+e^-x).
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// TanhLayer applies tanh element-wise with a backward stack.
+type TanhLayer struct{ stack []*Mat }
+
+// Forward applies tanh and caches the output.
+func (t *TanhLayer) Forward(x *Mat) *Mat {
+	y := Apply(x, math.Tanh)
+	t.stack = append(t.stack, y)
+	return y
+}
+
+// Backward returns dy ⊙ (1 - y²).
+func (t *TanhLayer) Backward(dy *Mat) *Mat {
+	if len(t.stack) == 0 {
+		panic("nn: Tanh.Backward without matching Forward")
+	}
+	y := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	dx := dy.Clone()
+	for i, v := range y.Data {
+		dx.Data[i] *= 1 - v*v
+	}
+	return dx
+}
+
+// Reset discards cached activations.
+func (t *TanhLayer) Reset() { t.stack = t.stack[:0] }
+
+// Dropout zeroes activations with probability P during training, scaling
+// survivors by 1/(1-P) (inverted dropout). With Train=false it is the
+// identity. The paper uses P = 0.5 inside both LSTMs.
+type Dropout struct {
+	P     float64
+	Train bool
+	rng   *rand.Rand
+	stack []*Mat // masks
+}
+
+// NewDropout returns a dropout layer in training mode.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{P: p, Train: true, rng: rng}
+}
+
+// Forward applies the mask (training) or passes through (inference).
+func (d *Dropout) Forward(x *Mat) *Mat {
+	if !d.Train || d.P <= 0 {
+		d.stack = append(d.stack, nil)
+		return x
+	}
+	keep := 1 - d.P
+	mask := NewMat(x.Rows, x.Cols)
+	out := x.Clone()
+	for i := range mask.Data {
+		if d.rng.Float64() < keep {
+			mask.Data[i] = 1 / keep
+		}
+		out.Data[i] *= mask.Data[i]
+	}
+	d.stack = append(d.stack, mask)
+	return out
+}
+
+// Backward applies the same mask to the upstream gradient.
+func (d *Dropout) Backward(dy *Mat) *Mat {
+	if len(d.stack) == 0 {
+		panic("nn: Dropout.Backward without matching Forward")
+	}
+	mask := d.stack[len(d.stack)-1]
+	d.stack = d.stack[:len(d.stack)-1]
+	if mask == nil {
+		return dy
+	}
+	dx := dy.Clone()
+	HadamardInto(dx, mask)
+	return dx
+}
+
+// Reset discards cached masks.
+func (d *Dropout) Reset() { d.stack = d.stack[:0] }

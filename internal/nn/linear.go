@@ -1,0 +1,52 @@
+package nn
+
+import "math/rand"
+
+// Linear is a fully connected layer: y = x·W + b, with x of shape
+// (batch, in) and W of shape (in, out).
+//
+// Forward calls push their input onto an internal stack and Backward calls
+// pop it, so a layer applied at every timestep of a sequence is
+// backpropagated by calling Backward in reverse timestep order — the
+// natural BPTT order.
+type Linear struct {
+	W, B *Param
+
+	stack []*Mat
+}
+
+// NewLinear returns a Xavier-initialized dense layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		W: newParam("linear.W", RandMat(in, out, XavierStd(in, out), rng)),
+		B: newParam("linear.B", NewMat(1, out)),
+	}
+}
+
+// Forward computes y = x·W + b and caches x for the backward pass.
+func (l *Linear) Forward(x *Mat) *Mat {
+	l.stack = append(l.stack, x)
+	y := MatMul(x, l.W.Value)
+	AddRowVec(y, l.B.Value)
+	return y
+}
+
+// Backward accumulates parameter gradients for upstream gradient dy against
+// the most recent unconsumed Forward input, and returns dx. It panics if
+// called more times than Forward.
+func (l *Linear) Backward(dy *Mat) *Mat {
+	if len(l.stack) == 0 {
+		panic("nn: Linear.Backward without matching Forward")
+	}
+	x := l.stack[len(l.stack)-1]
+	l.stack = l.stack[:len(l.stack)-1]
+	AddInto(l.W.Grad, MatTMul(x, dy))
+	AddInto(l.B.Grad, SumRows(dy))
+	return MatMulT(dy, l.W.Value)
+}
+
+// Reset discards any cached forward activations.
+func (l *Linear) Reset() { l.stack = l.stack[:0] }
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }

@@ -1,0 +1,39 @@
+package nn
+
+import "math"
+
+// BCEWithLogits computes the mean binary cross-entropy between logits and
+// 0/1 targets, together with the gradient with respect to the logits. The
+// sigmoid is fused for numerical stability (the paper's discriminator ends
+// in FC → Sigmoid; training against Eq. 4 is exactly BCE on its score).
+func BCEWithLogits(logits *Mat, targets []float64) (loss float64, dlogits *Mat) {
+	n := logits.Rows * logits.Cols
+	if n != len(targets) {
+		panic("nn: BCEWithLogits size mismatch")
+	}
+	dlogits = NewMat(logits.Rows, logits.Cols)
+	inv := 1 / float64(n)
+	for i, z := range logits.Data {
+		t := targets[i]
+		// loss = max(z,0) - z*t + log(1+exp(-|z|)), the stable form.
+		loss += (math.Max(z, 0) - z*t + math.Log1p(math.Exp(-math.Abs(z)))) * inv
+		dlogits.Data[i] = (Sigmoid(z) - t) * inv
+	}
+	return loss, dlogits
+}
+
+// MSE computes the mean squared error between pred and target matrices and
+// the gradient with respect to pred.
+func MSE(pred, target *Mat) (loss float64, dpred *Mat) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("nn: MSE shape mismatch")
+	}
+	dpred = NewMat(pred.Rows, pred.Cols)
+	inv := 1 / float64(len(pred.Data))
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d * inv
+		dpred.Data[i] = 2 * d * inv
+	}
+	return loss, dpred
+}

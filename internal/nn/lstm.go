@@ -1,0 +1,235 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer long short-term memory network (Hochreiter &
+// Schmidhuber '97) processing a sequence of (batch, in) matrices into a
+// sequence of (batch, hidden) states, with full backpropagation through
+// time. Gate layout in the fused weight matrices is [i | f | g | o].
+type LSTM struct {
+	In, Hidden int
+	Wx         *Param // (in, 4*hidden)
+	Wh         *Param // (hidden, 4*hidden)
+	B          *Param // (1, 4*hidden)
+
+	cache []lstmStep
+}
+
+type lstmStep struct {
+	x, hPrev, cPrev *Mat
+	i, f, g, o, c   *Mat
+	tanhC           *Mat
+}
+
+// NewLSTM returns an initialized LSTM. The forget-gate bias starts at 1,
+// the standard trick for stable early training.
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	b := NewMat(1, 4*hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		b.Data[j] = 1
+	}
+	return &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wx:     newParam("lstm.Wx", RandMat(in, 4*hidden, XavierStd(in, hidden), rng)),
+		Wh:     newParam("lstm.Wh", RandMat(hidden, 4*hidden, XavierStd(hidden, hidden), rng)),
+		B:      newParam("lstm.B", b),
+	}
+}
+
+// Params implements Module.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// Reset discards cached timesteps.
+func (l *LSTM) Reset() { l.cache = l.cache[:0] }
+
+// Step advances one timestep from (hPrev, cPrev) with input x, returning
+// the new hidden and cell states and caching everything for Backward.
+func (l *LSTM) Step(x, hPrev, cPrev *Mat) (h, c *Mat) {
+	batch := x.Rows
+	hid := l.Hidden
+	z := MatMul(x, l.Wx.Value)
+	AddInto(z, MatMul(hPrev, l.Wh.Value))
+	AddRowVec(z, l.B.Value)
+
+	i := NewMat(batch, hid)
+	f := NewMat(batch, hid)
+	g := NewMat(batch, hid)
+	o := NewMat(batch, hid)
+	for r := 0; r < batch; r++ {
+		zr := z.Data[r*4*hid : (r+1)*4*hid]
+		for j := 0; j < hid; j++ {
+			i.Data[r*hid+j] = Sigmoid(zr[j])
+			f.Data[r*hid+j] = Sigmoid(zr[hid+j])
+			g.Data[r*hid+j] = math.Tanh(zr[2*hid+j])
+			o.Data[r*hid+j] = Sigmoid(zr[3*hid+j])
+		}
+	}
+	c = NewMat(batch, hid)
+	for k := range c.Data {
+		c.Data[k] = f.Data[k]*cPrev.Data[k] + i.Data[k]*g.Data[k]
+	}
+	tc := Apply(c, math.Tanh)
+	h = NewMat(batch, hid)
+	for k := range h.Data {
+		h.Data[k] = o.Data[k] * tc.Data[k]
+	}
+	l.cache = append(l.cache, lstmStep{x: x, hPrev: hPrev, cPrev: cPrev, i: i, f: f, g: g, o: o, c: c, tanhC: tc})
+	return h, c
+}
+
+// Forward runs the whole sequence from zero initial state, returning the
+// hidden state at every timestep.
+func (l *LSTM) Forward(xs []*Mat) []*Mat {
+	if len(xs) == 0 {
+		return nil
+	}
+	batch := xs[0].Rows
+	h := NewMat(batch, l.Hidden)
+	c := NewMat(batch, l.Hidden)
+	out := make([]*Mat, len(xs))
+	for t, x := range xs {
+		h, c = l.Step(x, h, c)
+		out[t] = h
+	}
+	return out
+}
+
+// StepBackward consumes the most recent cached step. dh and dc are the
+// gradients flowing into this step's outputs (dh includes both the
+// sequence-output gradient and the recurrent gradient from the next step).
+// It returns gradients for the step inputs: dx, dhPrev, dcPrev.
+func (l *LSTM) StepBackward(dh, dc *Mat) (dx, dhPrev, dcPrev *Mat) {
+	if len(l.cache) == 0 {
+		panic("nn: LSTM.StepBackward without cached step")
+	}
+	st := l.cache[len(l.cache)-1]
+	l.cache = l.cache[:len(l.cache)-1]
+	batch := dh.Rows
+	hid := l.Hidden
+
+	// dO, dTanhC.
+	dcTotal := dc.Clone()
+	for k := range dcTotal.Data {
+		// h = o * tanh(c): gradient through tanh into c.
+		dcTotal.Data[k] += dh.Data[k] * st.o.Data[k] * (1 - st.tanhC.Data[k]*st.tanhC.Data[k])
+	}
+	dz := NewMat(batch, 4*hid)
+	dcPrev = NewMat(batch, hid)
+	for r := 0; r < batch; r++ {
+		for j := 0; j < hid; j++ {
+			k := r*hid + j
+			iv, fv, gv, ov := st.i.Data[k], st.f.Data[k], st.g.Data[k], st.o.Data[k]
+			do := dh.Data[k] * st.tanhC.Data[k]
+			di := dcTotal.Data[k] * gv
+			df := dcTotal.Data[k] * st.cPrev.Data[k]
+			dg := dcTotal.Data[k] * iv
+			dcPrev.Data[k] = dcTotal.Data[k] * fv
+			// Through the gate nonlinearities.
+			dz.Data[r*4*hid+j] = di * iv * (1 - iv)
+			dz.Data[r*4*hid+hid+j] = df * fv * (1 - fv)
+			dz.Data[r*4*hid+2*hid+j] = dg * (1 - gv*gv)
+			dz.Data[r*4*hid+3*hid+j] = do * ov * (1 - ov)
+		}
+	}
+	AddInto(l.Wx.Grad, MatTMul(st.x, dz))
+	AddInto(l.Wh.Grad, MatTMul(st.hPrev, dz))
+	AddInto(l.B.Grad, SumRows(dz))
+	dx = MatMulT(dz, l.Wx.Value)
+	dhPrev = MatMulT(dz, l.Wh.Value)
+	return dx, dhPrev, dcPrev
+}
+
+// Backward backpropagates through a full Forward pass. dhs[t] is the
+// gradient of the loss with respect to the hidden output at timestep t
+// (nil entries mean zero). It returns the gradient for each input.
+func (l *LSTM) Backward(dhs []*Mat) []*Mat {
+	n := len(dhs)
+	if n == 0 {
+		return nil
+	}
+	var batch int
+	for _, d := range dhs {
+		if d != nil {
+			batch = d.Rows
+			break
+		}
+	}
+	dh := NewMat(batch, l.Hidden)
+	dc := NewMat(batch, l.Hidden)
+	dxs := make([]*Mat, n)
+	for t := n - 1; t >= 0; t-- {
+		if dhs[t] != nil {
+			AddInto(dh, dhs[t])
+		}
+		var dx *Mat
+		dx, dh, dc = l.StepBackward(dh, dc)
+		dxs[t] = dx
+	}
+	return dxs
+}
+
+// BiLSTM is a bidirectional LSTM: a forward pass and a backward pass over
+// the reversed sequence, with outputs concatenated per timestep to
+// (batch, 2*hidden) — the discriminator's recurrent core (Fig. 6).
+type BiLSTM struct {
+	Fwd, Bwd *LSTM
+}
+
+// NewBiLSTM returns an initialized bidirectional LSTM.
+func NewBiLSTM(in, hidden int, rng *rand.Rand) *BiLSTM {
+	return &BiLSTM{Fwd: NewLSTM(in, hidden, rng), Bwd: NewLSTM(in, hidden, rng)}
+}
+
+// Params implements Module.
+func (b *BiLSTM) Params() []*Param {
+	return append(b.Fwd.Params(), b.Bwd.Params()...)
+}
+
+// Reset discards cached state in both directions.
+func (b *BiLSTM) Reset() { b.Fwd.Reset(); b.Bwd.Reset() }
+
+// Forward returns per-timestep concatenations [fwd_t | bwd_t].
+func (b *BiLSTM) Forward(xs []*Mat) []*Mat {
+	n := len(xs)
+	fw := b.Fwd.Forward(xs)
+	rev := make([]*Mat, n)
+	for t := 0; t < n; t++ {
+		rev[t] = xs[n-1-t]
+	}
+	bwRev := b.Bwd.Forward(rev)
+	out := make([]*Mat, n)
+	for t := 0; t < n; t++ {
+		out[t] = ConcatCols(fw[t], bwRev[n-1-t])
+	}
+	return out
+}
+
+// Backward splits per-timestep gradients into the two directions and
+// backpropagates both, returning per-timestep input gradients.
+func (b *BiLSTM) Backward(douts []*Mat) []*Mat {
+	n := len(douts)
+	hid := b.Fwd.Hidden
+	dfw := make([]*Mat, n)
+	dbwRev := make([]*Mat, n)
+	for t := 0; t < n; t++ {
+		if douts[t] == nil {
+			continue
+		}
+		l, r := SplitCols(douts[t], hid)
+		dfw[t] = l
+		dbwRev[n-1-t] = r
+	}
+	dxFw := b.Fwd.Backward(dfw)
+	dxBwRev := b.Bwd.Backward(dbwRev)
+	out := make([]*Mat, n)
+	for t := 0; t < n; t++ {
+		g := dxFw[t].Clone()
+		AddInto(g, dxBwRev[n-1-t])
+		out[t] = g
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Package nn is a compact, dependency-free deep-learning stack sufficient to
+// reproduce the paper's conditional GAN (Fig. 6): dense layers, embeddings,
+// LSTM and bidirectional LSTM with full backpropagation-through-time,
+// dropout, sigmoid/BCE loss, and the Adam optimizer. It replaces the
+// PyTorch + RTX 1080Ti training setup of §9.2 (see DESIGN.md).
+//
+// All math is float64 on dense row-major matrices; a matrix of shape
+// (batch, features) flows through every layer.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"rfprotect/internal/dsp"
+)
+
+// Mat is a dense row-major matrix (alias of the dsp matrix type).
+type Mat = dsp.Matrix
+
+// NewMat returns a zeroed rows×cols matrix.
+func NewMat(rows, cols int) *Mat { return dsp.NewMatrix(rows, cols) }
+
+// RandMat returns a rows×cols matrix with entries drawn N(0, std²).
+func RandMat(rows, cols int, std float64, rng *rand.Rand) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// XavierStd returns the Glorot-uniform-equivalent normal std for a layer
+// with the given fan-in and fan-out.
+func XavierStd(fanIn, fanOut int) float64 {
+	return math.Sqrt(2.0 / float64(fanIn+fanOut))
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Mat) *Mat { return a.Mul(b) }
+
+// MatMulT returns a·bᵀ without materializing the transpose.
+func MatMulT(a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic("nn: MatMulT inner dimension mismatch")
+	}
+	out := NewMat(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < b.Rows; j++ {
+			br := b.Data[j*b.Cols : (j+1)*b.Cols]
+			s := 0.0
+			for k, v := range ar {
+				s += v * br[k]
+			}
+			out.Data[i*out.Cols+j] = s
+		}
+	}
+	return out
+}
+
+// MatTMul returns aᵀ·b without materializing the transpose.
+func MatTMul(a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic("nn: MatTMul inner dimension mismatch")
+	}
+	out := NewMat(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Data[k*a.Cols : (k+1)*a.Cols]
+		br := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			row := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range br {
+				row[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// AddInto accumulates src into dst element-wise.
+func AddInto(dst, src *Mat) {
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// AddRowVec adds the 1×cols row vector v to every row of m, in place.
+func AddRowVec(m, v *Mat) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] += v.Data[j]
+		}
+	}
+}
+
+// SumRows returns the 1×cols column-wise sum of m (the bias gradient).
+func SumRows(m *Mat) *Mat {
+	out := NewMat(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates a and b horizontally (same row count).
+func ConcatCols(a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic("nn: ConcatCols row mismatch")
+	}
+	out := NewMat(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*out.Cols:], a.Data[i*a.Cols:(i+1)*a.Cols])
+		copy(out.Data[i*out.Cols+a.Cols:], b.Data[i*b.Cols:(i+1)*b.Cols])
+	}
+	return out
+}
+
+// SplitCols splits m into a left block of leftCols columns and the rest.
+func SplitCols(m *Mat, leftCols int) (left, right *Mat) {
+	if leftCols < 0 || leftCols > m.Cols {
+		panic("nn: SplitCols out of range")
+	}
+	left = NewMat(m.Rows, leftCols)
+	right = NewMat(m.Rows, m.Cols-leftCols)
+	for i := 0; i < m.Rows; i++ {
+		copy(left.Data[i*left.Cols:], m.Data[i*m.Cols:i*m.Cols+leftCols])
+		copy(right.Data[i*right.Cols:], m.Data[i*m.Cols+leftCols:(i+1)*m.Cols])
+	}
+	return left, right
+}
+
+// Apply returns f applied element-wise to m as a new matrix.
+func Apply(m *Mat, f func(float64) float64) *Mat {
+	out := m.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// HadamardInto multiplies dst by src element-wise in place.
+func HadamardInto(dst, src *Mat) {
+	for i, v := range src.Data {
+		dst.Data[i] *= v
+	}
+}

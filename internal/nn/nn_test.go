@@ -1,0 +1,260 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandMat(3, 4, 1, rng)
+	b := RandMat(5, 4, 1, rng)
+	// MatMulT(a, b) == a·bᵀ.
+	got := MatMulT(a, b)
+	want := a.Mul(b.Transpose())
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatal("MatMulT mismatch")
+		}
+	}
+	// MatTMul(a, c) == aᵀ·c.
+	c := RandMat(3, 2, 1, rng)
+	got2 := MatTMul(a, c)
+	want2 := a.Transpose().Mul(c)
+	for i := range want2.Data {
+		if math.Abs(got2.Data[i]-want2.Data[i]) > 1e-12 {
+			t.Fatal("MatTMul mismatch")
+		}
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandMat(3, 2, 1, rng)
+	b := RandMat(3, 5, 1, rng)
+	cat := ConcatCols(a, b)
+	if cat.Rows != 3 || cat.Cols != 7 {
+		t.Fatalf("shape %dx%d", cat.Rows, cat.Cols)
+	}
+	l, r := SplitCols(cat, 2)
+	for i := range a.Data {
+		if l.Data[i] != a.Data[i] {
+			t.Fatal("left mismatch")
+		}
+	}
+	for i := range b.Data {
+		if r.Data[i] != b.Data[i] {
+			t.Fatal("right mismatch")
+		}
+	}
+}
+
+func TestSumRowsAddRowVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	s := SumRows(m)
+	if s.Data[0] != 5 || s.Data[1] != 7 || s.Data[2] != 9 {
+		t.Fatalf("SumRows = %v", s.Data)
+	}
+	v := NewMat(1, 3)
+	copy(v.Data, []float64{10, 20, 30})
+	AddRowVec(m, v)
+	if m.Data[0] != 11 || m.Data[5] != 36 {
+		t.Fatalf("AddRowVec = %v", m.Data)
+	}
+}
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	// Minimize f(w) = ||w - target||² with Adam.
+	rng := rand.New(rand.NewSource(3))
+	p := newParam("w", RandMat(1, 8, 1, rng))
+	target := RandMat(1, 8, 1, rng)
+	opt := NewAdam(0.05)
+	for i := 0; i < 500; i++ {
+		p.ZeroGrad()
+		_, g := MSE(p.Value, target)
+		copy(p.Grad.Data, g.Data)
+		opt.Step([]*Param{p})
+	}
+	final, _ := MSE(p.Value, target)
+	if final > 1e-4 {
+		t.Fatalf("Adam failed to converge: loss %v", final)
+	}
+}
+
+func TestLinearLearnsMapping(t *testing.T) {
+	// y = 2x + 1 learned from samples.
+	rng := rand.New(rand.NewSource(4))
+	l := NewLinear(1, 1, rng)
+	opt := NewAdam(0.05)
+	for i := 0; i < 400; i++ {
+		x := RandMat(16, 1, 1, rng)
+		target := Apply(x, func(v float64) float64 { return 2*v + 1 })
+		ZeroGrads(l)
+		l.Reset()
+		y := l.Forward(x)
+		_, dy := MSE(y, target)
+		l.Backward(dy)
+		opt.Step(l.Params())
+	}
+	if math.Abs(l.W.Value.Data[0]-2) > 0.05 || math.Abs(l.B.Value.Data[0]-1) > 0.05 {
+		t.Fatalf("learned w=%v b=%v", l.W.Value.Data[0], l.B.Value.Data[0])
+	}
+}
+
+func TestLSTMLearnsRunningSum(t *testing.T) {
+	// Output target: tanh-squashed running mean of inputs — requires memory.
+	rng := rand.New(rand.NewSource(5))
+	lstm := NewLSTM(1, 8, rng)
+	head := NewLinear(8, 1, rng)
+	opt := NewAdam(0.01)
+	seq := 6
+	var lastLoss float64
+	firstLoss := -1.0
+	for iter := 0; iter < 300; iter++ {
+		xs := make([]*Mat, seq)
+		sum := NewMat(4, 1)
+		targets := make([]*Mat, seq)
+		for tIdx := range xs {
+			xs[tIdx] = RandMat(4, 1, 0.5, rng)
+			AddInto(sum, xs[tIdx])
+			targets[tIdx] = Apply(sum, func(v float64) float64 { return math.Tanh(v / float64(tIdx+1)) })
+		}
+		ZeroGrads(lstm, head)
+		lstm.Reset()
+		head.Reset()
+		hs := lstm.Forward(xs)
+		total := 0.0
+		douts := make([]*Mat, seq)
+		ys := make([]*Mat, seq)
+		for tIdx := 0; tIdx < seq; tIdx++ {
+			ys[tIdx] = head.Forward(hs[tIdx])
+		}
+		for tIdx := seq - 1; tIdx >= 0; tIdx-- {
+			v, dy := MSE(ys[tIdx], targets[tIdx])
+			total += v
+			douts[tIdx] = head.Backward(dy)
+		}
+		lstm.Backward(douts)
+		ClipGradNorm(CollectParams(lstm, head), 5)
+		opt.Step(CollectParams(lstm, head))
+		lastLoss = total / float64(seq)
+		if firstLoss < 0 {
+			firstLoss = lastLoss
+		}
+	}
+	if lastLoss > firstLoss*0.5 {
+		t.Fatalf("LSTM did not learn: first %v last %v", firstLoss, lastLoss)
+	}
+}
+
+func TestDropoutStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := NewDropout(0.5, rng)
+	x := NewMat(100, 100)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y := d.Forward(x)
+	zeros, scaled := 0, 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			scaled++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	frac := float64(zeros) / float64(len(y.Data))
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("drop fraction %v", frac)
+	}
+	// Inference mode is identity.
+	d.Train = false
+	y2 := d.Forward(x)
+	for i := range x.Data {
+		if y2.Data[i] != x.Data[i] {
+			t.Fatal("inference dropout must be identity")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l1 := NewLinear(3, 4, rng)
+	lstm1 := NewLSTM(4, 5, rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, l1, lstm1); err != nil {
+		t.Fatal(err)
+	}
+	l2 := NewLinear(3, 4, rand.New(rand.NewSource(99)))
+	lstm2 := NewLSTM(4, 5, rand.New(rand.NewSource(99)))
+	if err := Load(&buf, l2, lstm2); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range CollectParams(l1, lstm1) {
+		q := CollectParams(l2, lstm2)[i]
+		for j := range p.Value.Data {
+			if p.Value.Data[j] != q.Value.Data[j] {
+				t.Fatal("weights differ after round trip")
+			}
+		}
+	}
+	// Shape mismatch must error.
+	var buf2 bytes.Buffer
+	if err := Save(&buf2, l1); err != nil {
+		t.Fatal(err)
+	}
+	wrong := NewLinear(3, 5, rng)
+	if err := Load(&buf2, wrong); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("w", NewMat(1, 2))
+	p.Grad.Data[0] = 3
+	p.Grad.Data[1] = 4
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("norm %v", norm)
+	}
+	if math.Abs(math.Hypot(p.Grad.Data[0], p.Grad.Data[1])-1) > 1e-9 {
+		t.Fatal("not clipped to 1")
+	}
+	// Below max: untouched.
+	p.Grad.Data[0], p.Grad.Data[1] = 0.3, 0.4
+	ClipGradNorm([]*Param{p}, 1)
+	if p.Grad.Data[0] != 0.3 {
+		t.Fatal("clipped when under the limit")
+	}
+}
+
+func TestBCEWithLogitsValues(t *testing.T) {
+	logits := NewMat(1, 2)
+	logits.Data[0] = 100  // certain positive
+	logits.Data[1] = -100 // certain negative
+	loss, _ := BCEWithLogits(logits, []float64{1, 0})
+	if loss > 1e-9 {
+		t.Fatalf("perfect prediction loss %v", loss)
+	}
+	loss2, _ := BCEWithLogits(logits, []float64{0, 1})
+	if loss2 < 50 {
+		t.Fatalf("catastrophic prediction loss %v", loss2)
+	}
+}
+
+func TestEmbeddingPanicsOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := NewEmbedding(3, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Forward([]int{5})
+}

@@ -1,0 +1,68 @@
+package nn
+
+import "math"
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *Mat
+	Grad  *Mat
+}
+
+// newParam wraps a value matrix with a zeroed gradient of the same shape.
+func newParam(name string, value *Mat) *Param {
+	return &Param{Name: name, Value: value, Grad: NewMat(value.Rows, value.Cols)}
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = 0
+	}
+}
+
+// Module is a trainable component exposing its parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// ZeroGrads clears the gradients of every parameter of the given modules.
+func ZeroGrads(mods ...Module) {
+	for _, m := range mods {
+		for _, p := range m.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// CollectParams flattens the parameters of the given modules.
+func CollectParams(mods ...Module) []*Param {
+	var out []*Param
+	for _, m := range mods {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// ClipGradNorm scales the gradients of params so their global L2 norm does
+// not exceed maxNorm, returning the pre-clip norm. GAN-LSTM training is
+// prone to exploding gradients; the paper's PyTorch setup gets this from
+// the framework.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the on-disk form of a parameter set.
+type snapshot struct {
+	Names  []string
+	Rows   []int
+	Cols   []int
+	Values [][]float64
+}
+
+// Save writes the parameter values of the given modules to w with
+// encoding/gob, in module order.
+func Save(w io.Writer, mods ...Module) error {
+	var s snapshot
+	for _, p := range CollectParams(mods...) {
+		s.Names = append(s.Names, p.Name)
+		s.Rows = append(s.Rows, p.Value.Rows)
+		s.Cols = append(s.Cols, p.Value.Cols)
+		vals := make([]float64, len(p.Value.Data))
+		copy(vals, p.Value.Data)
+		s.Values = append(s.Values, vals)
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load restores parameter values previously written with Save into modules
+// of identical architecture.
+func Load(r io.Reader, mods ...Module) error {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	params := CollectParams(mods...)
+	if len(params) != len(s.Values) {
+		return fmt.Errorf("nn: snapshot has %d tensors, model has %d", len(s.Values), len(params))
+	}
+	for i, p := range params {
+		if p.Value.Rows != s.Rows[i] || p.Value.Cols != s.Cols[i] {
+			return fmt.Errorf("nn: tensor %d (%s) shape %dx%d, snapshot %dx%d",
+				i, p.Name, p.Value.Rows, p.Value.Cols, s.Rows[i], s.Cols[i])
+		}
+		copy(p.Value.Data, s.Values[i])
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package privacy implements the information-theoretic analysis of §7: with
+// X ~ Bin(N, p) real occupants and Y ~ Bin(M, q) RF-Protect phantoms, the
+// eavesdropper observes Z = X + Y, and the leakage about the true occupancy
+// distribution is the mutual information I(X; Z) of Eq. 5/6. The package
+// also covers the instance-level guarantees: occupancy always reads
+// positive, and a breathing trace is real with probability N/(M+N).
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinomialPMF returns P(K = k) for K ~ Bin(n, p).
+func BinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	// log C(n,k) via lgamma for robustness at larger n.
+	lg := func(x float64) float64 { v, _ := math.Lgamma(x); return v }
+	logC := lg(float64(n+1)) - lg(float64(k+1)) - lg(float64(n-k+1))
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// BinomialDist returns the full PMF vector of Bin(n, p), indices 0..n.
+func BinomialDist(n int, p float64) []float64 {
+	out := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = BinomialPMF(n, p, k)
+	}
+	return out
+}
+
+// Model is the occupancy model of §7.
+type Model struct {
+	N int     // maximum real occupancy
+	P float64 // probability a single human is moving (paper uses 0.2)
+	M int     // maximum number of phantoms (RF-Protect controls this)
+	Q float64 // probability a single reflector spawns a phantom (controlled)
+}
+
+// Validate reports parameter errors.
+func (m Model) Validate() error {
+	switch {
+	case m.N < 0 || m.M < 0:
+		return fmt.Errorf("privacy: N=%d, M=%d must be non-negative", m.N, m.M)
+	case m.P < 0 || m.P > 1:
+		return fmt.Errorf("privacy: P=%v out of [0,1]", m.P)
+	case m.Q < 0 || m.Q > 1:
+		return fmt.Errorf("privacy: Q=%v out of [0,1]", m.Q)
+	}
+	return nil
+}
+
+// MutualInformation computes I(X; Z) in bits via Eq. 6. Since X and Y are
+// independent and Z = X + Y, P(Z=z | X=x) = P(Y = z-x).
+func (m Model) MutualInformation() float64 {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	px := BinomialDist(m.N, m.P)
+	py := BinomialDist(m.M, m.Q)
+	// Marginal P(Z=z) = Σ_x P(X=x)·P(Y=z-x).
+	pz := make([]float64, m.N+m.M+1)
+	for x := 0; x <= m.N; x++ {
+		for y := 0; y <= m.M; y++ {
+			pz[x+y] += px[x] * py[y]
+		}
+	}
+	mi := 0.0
+	for x := 0; x <= m.N; x++ {
+		if px[x] == 0 {
+			continue
+		}
+		for y := 0; y <= m.M; y++ {
+			joint := px[x] * py[y]
+			if joint == 0 {
+				continue
+			}
+			z := x + y
+			mi += joint * math.Log2(py[y]/pz[z])
+		}
+	}
+	if mi < 0 {
+		mi = 0 // round-off guard: MI is non-negative
+	}
+	return mi
+}
+
+// EntropyX returns H(X) in bits, the upper bound of I(X; Z).
+func (m Model) EntropyX() float64 {
+	h := 0.0
+	for _, p := range BinomialDist(m.N, m.P) {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// MISweep evaluates I(X; Z) across a grid of q values, reproducing one
+// curve of Fig. 7.
+func (m Model) MISweep(qs []float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		mm := m
+		mm.Q = q
+		out[i] = mm.MutualInformation()
+	}
+	return out
+}
+
+// BreathingGuessProbability returns the probability a random guess picks a
+// real breathing trace among n real and m fake ones (§7, Breath
+// Monitoring): n/(m+n).
+func BreathingGuessProbability(n, m int) float64 {
+	if n+m == 0 {
+		return 0
+	}
+	return float64(n) / float64(n+m)
+}
+
+// OccupancyReadsPositive reports what an eavesdropper's "is someone home"
+// query returns when there are realHumans occupants and ghostActive
+// phantoms — with RF-Protect spoofing, the answer is always yes (§7).
+func OccupancyReadsPositive(realHumans int, ghostActive bool) bool {
+	return realHumans > 0 || ghostActive
+}
+
+// ObservedCount is what occupant counting reports: real plus fake.
+func ObservedCount(realHumans, ghosts int) int { return realHumans + ghosts }

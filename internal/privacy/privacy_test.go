@@ -1,0 +1,137 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 10, 30} {
+		for _, p := range []float64{0, 0.2, 0.5, 0.9, 1} {
+			sum := 0.0
+			for _, v := range BinomialDist(n, p) {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-10 {
+				t.Fatalf("Bin(%d,%v) sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialPMFKnownValues(t *testing.T) {
+	if got := BinomialPMF(4, 0.5, 2); math.Abs(got-0.375) > 1e-12 {
+		t.Fatalf("Bin(4,0.5) at 2 = %v", got)
+	}
+	if BinomialPMF(4, 0.5, -1) != 0 || BinomialPMF(4, 0.5, 5) != 0 {
+		t.Fatal("out of support should be 0")
+	}
+	if BinomialPMF(3, 0, 0) != 1 || BinomialPMF(3, 1, 3) != 1 {
+		t.Fatal("degenerate p")
+	}
+}
+
+func TestMutualInformationEndpoints(t *testing.T) {
+	// Fig. 7: q=0 (no phantoms) and q=1 (reflectors always on) both leak
+	// everything: I(X;Z) = H(X). q near 0.5 leaks far less.
+	m := Model{N: 4, P: 0.2, M: 4}
+	hx := m.EntropyX()
+	m.Q = 0
+	if got := m.MutualInformation(); math.Abs(got-hx) > 1e-9 {
+		t.Fatalf("q=0: I=%v, want H(X)=%v", got, hx)
+	}
+	m.Q = 1
+	if got := m.MutualInformation(); math.Abs(got-hx) > 1e-9 {
+		t.Fatalf("q=1: I=%v, want H(X)=%v", got, hx)
+	}
+	m.Q = 0.5
+	mid := m.MutualInformation()
+	if mid > 0.6*hx {
+		t.Fatalf("q=0.5: I=%v not clearly below H(X)=%v", mid, hx)
+	}
+}
+
+func TestMutualInformationDecreasesWithM(t *testing.T) {
+	// Fig. 7's second claim: more spoofable phantoms, less leakage.
+	prev := math.Inf(1)
+	for _, M := range []int{2, 4, 6, 8} {
+		m := Model{N: 4, P: 0.2, M: M, Q: 0.5}
+		mi := m.MutualInformation()
+		if mi >= prev {
+			t.Fatalf("I(X;Z) did not decrease: M=%d gives %v (prev %v)", M, mi, prev)
+		}
+		prev = mi
+	}
+}
+
+func TestMutualInformationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := seed
+		if r < 0 {
+			r = -r
+		}
+		m := Model{
+			N: int(r%5) + 1,
+			P: float64((r/5)%11) / 10,
+			M: int((r/55)%5) + 1,
+			Q: float64((r/275)%11) / 10,
+		}
+		mi := m.MutualInformation()
+		return mi >= 0 && mi <= m.EntropyX()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISweepMatchesPointwise(t *testing.T) {
+	m := Model{N: 4, P: 0.2, M: 6}
+	qs := []float64{0, 0.25, 0.5, 0.75, 1}
+	sweep := m.MISweep(qs)
+	for i, q := range qs {
+		mm := m
+		mm.Q = q
+		if sweep[i] != mm.MutualInformation() {
+			t.Fatal("sweep disagrees with pointwise")
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	bad := []Model{
+		{N: -1}, {M: -1}, {P: -0.1}, {P: 1.1}, {Q: 2},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := (Model{N: 4, P: 0.2, M: 4, Q: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreathingGuessProbability(t *testing.T) {
+	if got := BreathingGuessProbability(1, 3); got != 0.25 {
+		t.Fatalf("got %v", got)
+	}
+	if got := BreathingGuessProbability(0, 0); got != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	if got := BreathingGuessProbability(2, 0); got != 1 {
+		t.Fatalf("no fakes: %v", got)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	if !OccupancyReadsPositive(0, true) {
+		t.Fatal("ghost should make home look occupied")
+	}
+	if OccupancyReadsPositive(0, false) {
+		t.Fatal("empty home without ghosts")
+	}
+	if ObservedCount(2, 2) != 4 {
+		t.Fatal("count")
+	}
+}

@@ -1,0 +1,218 @@
+// Package pulse implements the §13 "New Sensor Types" extension: a pulsed
+// radar with pulse compression, and the delay-line variant of the
+// RF-Protect tag the paper sketches for it ("distance spoofing in such
+// radars need to be achieved through other mechanisms — e.g. by adding a
+// set of delay lines and switching between them").
+//
+// The radar transmits a linear-FM pulse and matched-filters the received
+// baseband; a scatterer at round-trip delay τ compresses to a peak at τ
+// with range resolution C/(2B), exactly like the FMCW system it parallels.
+// The tag cannot use switching-frequency tricks here (there is no beat
+// frequency), so it routes the incident pulse through one of a bank of
+// physical delay lines before re-radiating it.
+package pulse
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+)
+
+// Params configures the pulsed radar.
+type Params struct {
+	CenterFreq float64 // carrier in Hz
+	Bandwidth  float64 // LFM sweep inside the pulse, Hz
+	PulseWidth float64 // pulse duration in seconds
+	SampleRate float64 // baseband sampling rate in Hz (>= Bandwidth)
+	Window     float64 // listening window in seconds (sets max range)
+	NoiseStd   float64
+}
+
+// DefaultParams returns a UWB-style indoor pulse radar: 500 MHz LFM pulse
+// (30 cm resolution), 2 µs pulse, 0.35 µs... rather: 300 ns listening per
+// meter — a 0.3 µs window covers 45 m round trip.
+func DefaultParams() Params {
+	return Params{
+		CenterFreq: 6.5e9,
+		Bandwidth:  1e9,
+		PulseWidth: 0.2e-6,
+		SampleRate: 2e9,
+		Window:     0.5e-6,
+		NoiseStd:   0.01,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.Bandwidth <= 0 || p.PulseWidth <= 0 || p.SampleRate <= 0 || p.Window <= 0:
+		return fmt.Errorf("pulse: non-positive parameter in %+v", p)
+	case p.SampleRate < p.Bandwidth:
+		return fmt.Errorf("pulse: sample rate %v under-samples bandwidth %v", p.SampleRate, p.Bandwidth)
+	case p.Window <= p.PulseWidth:
+		return fmt.Errorf("pulse: window %v must exceed pulse width %v", p.Window, p.PulseWidth)
+	}
+	return nil
+}
+
+// RangeResolution returns C/(2B).
+func (p Params) RangeResolution() float64 { return fmcw.C / (2 * p.Bandwidth) }
+
+// MaxRange returns the one-way range covered by the listening window.
+func (p Params) MaxRange() float64 { return fmcw.C * (p.Window - p.PulseWidth) / 2 }
+
+// samples returns the listening-window length in samples.
+func (p Params) samples() int { return int(p.SampleRate * p.Window) }
+
+// waveform returns the baseband LFM pulse.
+func (p Params) waveform() []complex128 {
+	n := int(p.SampleRate * p.PulseWidth)
+	out := make([]complex128, n)
+	k := p.Bandwidth / p.PulseWidth
+	for i := range out {
+		t := float64(i) / p.SampleRate
+		ph := 2 * math.Pi * (0.5*k*t*t - p.Bandwidth/2*t)
+		out[i] = cmplx.Exp(complex(0, ph))
+	}
+	return out
+}
+
+// Return is one reflection: a delayed, attenuated copy of the pulse.
+type Return struct {
+	Delay     float64 // round-trip delay in seconds
+	Amplitude float64
+	Phase     float64
+}
+
+// Capture synthesizes the received baseband for a set of returns.
+func Capture(p Params, returns []Return, rng *rand.Rand) []complex128 {
+	n := p.samples()
+	rx := make([]complex128, n)
+	wf := p.waveform()
+	for _, r := range returns {
+		if r.Amplitude == 0 {
+			continue
+		}
+		start := r.Delay * p.SampleRate
+		i0 := int(start)
+		carrier := -2*math.Pi*p.CenterFreq*r.Delay + r.Phase
+		rot := cmplx.Exp(complex(0, carrier)) * complex(r.Amplitude, 0)
+		for i, w := range wf {
+			j := i0 + i
+			if j < 0 || j >= n {
+				continue
+			}
+			rx[j] += w * rot
+		}
+	}
+	if rng != nil && p.NoiseStd > 0 {
+		for i := range rx {
+			rx[i] += complex(rng.NormFloat64()*p.NoiseStd, rng.NormFloat64()*p.NoiseStd)
+		}
+	}
+	return rx
+}
+
+// MatchedFilter compresses the capture against the pulse waveform,
+// returning the magnitude profile over delay samples.
+func MatchedFilter(p Params, rx []complex128) []float64 {
+	n := dsp.NextPowerOfTwo(2 * len(rx))
+	a := make([]complex128, n)
+	copy(a, rx)
+	b := make([]complex128, n)
+	copy(b, p.waveform())
+	// Correlation via FFT: corr(rx, wf)[k] = IFFT(FFT(rx) · conj(FFT(wf)))[k]
+	// peaks at the round-trip delay.
+	dsp.FFTInPlace(a)
+	dsp.FFTInPlace(b)
+	for i := range a {
+		a[i] *= cmplx.Conj(b[i])
+	}
+	dsp.IFFTInPlace(a)
+	out := make([]float64, len(rx))
+	for i := range out {
+		out[i] = cmplx.Abs(a[i])
+	}
+	return out
+}
+
+// DetectRanges returns the distances of the strongest peaks in the
+// compressed profile.
+func DetectRanges(p Params, profile []float64, maxTargets int) []float64 {
+	maxV := 0.0
+	for _, v := range profile {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		return nil
+	}
+	minDist := int(p.SampleRate / p.Bandwidth * 2) // ~2 resolution cells
+	peaks := dsp.FindPeaks(profile, 0.25*maxV, minDist)
+	if maxTargets > 0 && len(peaks) > maxTargets {
+		peaks = peaks[:maxTargets]
+	}
+	out := make([]float64, 0, len(peaks))
+	for _, pk := range peaks {
+		off := dsp.QuadraticInterp(profile, pk.Index)
+		delay := (float64(pk.Index) + off) / p.SampleRate
+		out = append(out, fmcw.C*delay/2)
+	}
+	return out
+}
+
+// DelayLineTag is the pulsed-radar variant of the RF-Protect reflector: the
+// incident pulse is routed through one of a bank of delay lines and
+// re-radiated, placing the ghost C·delay/2 beyond the tag. Like the FMCW
+// tag it is passive-relay hardware — no waveform synthesis, no
+// synchronization with the radar.
+type DelayLineTag struct {
+	Position geom.Point
+	// Lines is the bank of available delays in seconds.
+	Lines []float64
+	// Active selects the current line (index into Lines); -1 disables.
+	Active int
+	// Gain is the relay amplitude gain.
+	Gain float64
+}
+
+// NewDelayLineTag returns a tag with a geometrically spaced delay bank
+// covering roughly 1–8 m of spoofed extra distance.
+func NewDelayLineTag(pos geom.Point) *DelayLineTag {
+	lines := make([]float64, 8)
+	for i := range lines {
+		extra := 1.0 + float64(i) // meters
+		lines[i] = 2 * extra / fmcw.C
+	}
+	return &DelayLineTag{Position: pos, Lines: lines, Active: 0, Gain: 8}
+}
+
+// SpoofedDistance returns the ghost distance the active line creates for a
+// radar at the given position.
+func (t *DelayLineTag) SpoofedDistance(radarPos geom.Point) float64 {
+	if t.Active < 0 || t.Active >= len(t.Lines) {
+		return math.NaN()
+	}
+	return radarPos.Dist(t.Position) + fmcw.C*t.Lines[t.Active]/2
+}
+
+// Returns produces the tag's reflection for a radar at radarPos.
+func (t *DelayLineTag) Returns(radarPos geom.Point) []Return {
+	if t.Active < 0 || t.Active >= len(t.Lines) {
+		return nil
+	}
+	d := radarPos.Dist(t.Position)
+	if d < 0.3 {
+		d = 0.3
+	}
+	return []Return{{
+		Delay:     2*d/fmcw.C + t.Lines[t.Active],
+		Amplitude: t.Gain / (d * d),
+	}}
+}

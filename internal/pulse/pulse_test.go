@@ -1,0 +1,149 @@
+package pulse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+)
+
+func TestParamsValidate(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.SampleRate = p.Bandwidth / 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("under-sampling accepted")
+	}
+	bad = p
+	bad.Window = p.PulseWidth
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short window accepted")
+	}
+	bad = p
+	bad.Bandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestResolutionMatchesFMCW(t *testing.T) {
+	p := DefaultParams()
+	if math.Abs(p.RangeResolution()-0.15) > 0.001 {
+		t.Fatalf("resolution %v, want ~0.15 m", p.RangeResolution())
+	}
+	if p.MaxRange() < 20 {
+		t.Fatalf("max range %v too small", p.MaxRange())
+	}
+}
+
+func TestMatchedFilterLocalizesTarget(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(1))
+	for _, dist := range []float64{2.0, 5.5, 11.0} {
+		ret := Return{Delay: 2 * dist / fmcw.C, Amplitude: 1}
+		rx := Capture(p, []Return{ret}, rng)
+		prof := MatchedFilter(p, rx)
+		ranges := DetectRanges(p, prof, 1)
+		if len(ranges) != 1 {
+			t.Fatalf("dist %v: %d detections", dist, len(ranges))
+		}
+		if math.Abs(ranges[0]-dist) > p.RangeResolution() {
+			t.Fatalf("target at %v detected at %v", dist, ranges[0])
+		}
+	}
+}
+
+func TestMatchedFilterSeparatesTwoTargets(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(2))
+	rx := Capture(p, []Return{
+		{Delay: 2 * 3.0 / fmcw.C, Amplitude: 1},
+		{Delay: 2 * 6.0 / fmcw.C, Amplitude: 0.8},
+	}, rng)
+	ranges := DetectRanges(p, MatchedFilter(p, rx), 2)
+	if len(ranges) != 2 {
+		t.Fatalf("detections: %v", ranges)
+	}
+	found3, found6 := false, false
+	for _, r := range ranges {
+		if math.Abs(r-3) < 0.3 {
+			found3 = true
+		}
+		if math.Abs(r-6) < 0.3 {
+			found6 = true
+		}
+	}
+	if !found3 || !found6 {
+		t.Fatalf("targets not separated: %v", ranges)
+	}
+}
+
+func TestDelayLineTagSpoofsPulsedRadar(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(3))
+	radarPos := geom.Point{}
+	tag := NewDelayLineTag(geom.Point{X: 0, Y: 1.5})
+	for _, line := range []int{0, 3, 7} {
+		tag.Active = line
+		rx := Capture(p, tag.Returns(radarPos), rng)
+		ranges := DetectRanges(p, MatchedFilter(p, rx), 1)
+		if len(ranges) != 1 {
+			t.Fatalf("line %d: %d detections", line, len(ranges))
+		}
+		want := tag.SpoofedDistance(radarPos)
+		if math.Abs(ranges[0]-want) > p.RangeResolution() {
+			t.Fatalf("line %d: ghost at %v, want %v", line, ranges[0], want)
+		}
+	}
+	tag.Active = -1
+	if tag.Returns(radarPos) != nil {
+		t.Fatal("disabled tag reflecting")
+	}
+	if !math.IsNaN(tag.SpoofedDistance(radarPos)) {
+		t.Fatal("disabled tag has a spoofed distance")
+	}
+}
+
+func TestDelayLineTrajectoryOnPulsedRadar(t *testing.T) {
+	// Switching lines over time walks the ghost outward — the pulsed-radar
+	// analogue of Fig. 10c.
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(4))
+	radarPos := geom.Point{}
+	tag := NewDelayLineTag(geom.Point{X: 0, Y: 1.5})
+	var got []float64
+	for line := 0; line < len(tag.Lines); line++ {
+		tag.Active = line
+		rx := Capture(p, tag.Returns(radarPos), rng)
+		ranges := DetectRanges(p, MatchedFilter(p, rx), 1)
+		if len(ranges) != 1 {
+			t.Fatalf("line %d lost", line)
+		}
+		got = append(got, ranges[0])
+	}
+	for i := 1; i < len(got); i++ {
+		step := got[i] - got[i-1]
+		if step < 0.7 || step > 1.3 {
+			t.Fatalf("ghost steps %v, want ~1 m increments", got)
+		}
+	}
+}
+
+func TestCaptureSuperposition(t *testing.T) {
+	p := DefaultParams()
+	r1 := Return{Delay: 2 * 2.0 / fmcw.C, Amplitude: 0.6}
+	r2 := Return{Delay: 2 * 4.0 / fmcw.C, Amplitude: 0.4, Phase: 1}
+	both := Capture(p, []Return{r1, r2}, nil)
+	a := Capture(p, []Return{r1}, nil)
+	b := Capture(p, []Return{r2}, nil)
+	for i := range both {
+		if d := both[i] - (a[i] + b[i]); math.Abs(real(d))+math.Abs(imag(d)) > 1e-12 {
+			t.Fatal("capture not linear")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package radar
+
+import (
+	"math"
+	"math/cmplx"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/fmcw"
+)
+
+// BreathingExtractor recovers the chest-motion phase signal of a static
+// target from a frame sequence, the technique of Adib et al. (CHI'15) that
+// §11.4 spoofs: the carrier phase at the target's range bin oscillates with
+// chest displacement δ as 4π·δ/λ.
+type BreathingExtractor struct {
+	Antenna int // array element to use (phase is coherent across elements)
+}
+
+// rangeBinOf returns the FFT bin index for a target at the given distance.
+func rangeBinOf(p fmcw.Params, distance float64) int {
+	n := p.SamplesPerChirp()
+	return int(math.Round(p.BeatFrequency(distance) / p.SampleRate * float64(n)))
+}
+
+// PhaseSeries returns the unwrapped phase at the range bin nearest to
+// distance, one sample per frame, along with the frame times.
+func (b BreathingExtractor) PhaseSeries(frames []*fmcw.Frame, distance float64) (times, phase []float64) {
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	p := frames[0].Params
+	bin := rangeBinOf(p, distance)
+	n := p.SamplesPerChirp()
+	ant := b.Antenna
+	if ant < 0 || ant >= p.NumAntennas {
+		ant = 0
+	}
+	wrapped := make([]float64, len(frames))
+	times = make([]float64, len(frames))
+	x := make([]complex128, n)
+	win := dsp.Hann.Coefficients(n)
+	for i, f := range frames {
+		for j, v := range f.Data[ant] {
+			x[j] = v * complex(win[j], 0)
+		}
+		dsp.FFTInPlace(x)
+		wrapped[i] = cmplx.Phase(x[bin])
+		times[i] = f.Time
+	}
+	return times, dsp.Unwrap(wrapped)
+}
+
+// EstimateRate returns the breathing rate in Hz from an unwrapped phase
+// series sampled at frameRate.
+func EstimateRate(phase []float64, frameRate float64) float64 {
+	// Detrend: remove the linear component so slow drift does not leak into
+	// the rate estimate.
+	d := detrend(phase)
+	return dsp.DominantFrequency(d, frameRate)
+}
+
+// detrend removes the least-squares line from x.
+func detrend(x []float64) []float64 {
+	n := len(x)
+	if n < 2 {
+		out := make([]float64, n)
+		copy(out, x)
+		return out
+	}
+	var sx, sy, sxx, sxy float64
+	for i, v := range x {
+		fi := float64(i)
+		sx += fi
+		sy += v
+		sxx += fi * fi
+		sxy += fi * v
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	var slope, intercept float64
+	if den != 0 {
+		slope = (fn*sxy - sx*sy) / den
+		intercept = (sy - slope*sx) / fn
+	} else {
+		intercept = sy / fn
+	}
+	out := make([]float64, n)
+	for i, v := range x {
+		out[i] = v - (intercept + slope*float64(i))
+	}
+	return out
+}

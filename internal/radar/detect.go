@@ -1,0 +1,83 @@
+package radar
+
+import (
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+)
+
+// Detection is one extracted reflection peak in polar and world coordinates.
+type Detection struct {
+	Range float64    // meters from the radar
+	AoA   float64    // radians in [0, π]
+	Power float64    // profile power at the peak
+	Pos   geom.Point // world position (via the array geometry)
+	Time  float64
+}
+
+// Detect extracts target detections from a range–angle profile: 2-D local
+// maxima above the power thresholds, refined with quadratic interpolation in
+// both range and angle, then mapped to world coordinates through the array.
+func (pr *Processor) Detect(prof *Profile, array fmcw.Array) []Detection {
+	if prof.RangeBins == 0 {
+		return nil
+	}
+	maxPower := 0.0
+	for _, v := range prof.Power {
+		if v > maxPower {
+			maxPower = v
+		}
+	}
+	thresh := pr.cfg.MinPeakPower
+	if t := maxPower * pr.cfg.MinPeakRatio; t > thresh {
+		thresh = t
+	}
+	// Enforce a separation of about one nominal beamwidth in angle and one
+	// range bin by using a Chebyshev distance of a few cells.
+	sep := prof.AngleBins / (2 * prof.Params.NumAntennas)
+	if sep < 2 {
+		sep = 2
+	}
+	peaks := dsp.FindPeaks2D(prof.Power, prof.RangeBins, prof.AngleBins, thresh, sep)
+	if len(peaks) > pr.cfg.MaxTargets {
+		peaks = peaks[:pr.cfg.MaxTargets]
+	}
+	out := make([]Detection, 0, len(peaks))
+	for _, pk := range peaks {
+		// Sub-bin refinement along range (column fixed) and angle (row fixed).
+		rowSlice := prof.Power[pk.Row*prof.AngleBins : (pk.Row+1)*prof.AngleBins]
+		aOff := dsp.QuadraticInterp(rowSlice, pk.Col)
+		colSlice := make([]float64, prof.RangeBins)
+		for r := 0; r < prof.RangeBins; r++ {
+			colSlice[r] = prof.At(r, pk.Col)
+		}
+		rOff := dsp.QuadraticInterp(colSlice, pk.Row)
+		rng := prof.RangeOfBin(float64(pk.Row) + rOff)
+		aoa := prof.AngleOfBin(float64(pk.Col) + aOff)
+		out = append(out, Detection{
+			Range: rng,
+			AoA:   aoa,
+			Power: pk.Value,
+			Pos:   array.PointAt(rng, aoa),
+			Time:  prof.Time,
+		})
+	}
+	return out
+}
+
+// ProcessFrames runs the full front end over a frame sequence: successive
+// background subtraction followed by profile computation and detection.
+// The first frame serves only as background; len(frames)-1 detection sets
+// are returned.
+func (pr *Processor) ProcessFrames(frames []*fmcw.Frame, array fmcw.Array) [][]Detection {
+	if len(frames) < 2 {
+		return nil
+	}
+	out := make([][]Detection, 0, len(frames)-1)
+	for i := 1; i < len(frames); i++ {
+		diff := BackgroundSubtract(frames[i], frames[i-1])
+		prof := pr.RangeAngle(diff)
+		out = append(out, pr.Detect(prof, array))
+	}
+	return out
+}

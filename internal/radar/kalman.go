@@ -1,0 +1,112 @@
+package radar
+
+import (
+	"math"
+
+	"rfprotect/internal/geom"
+)
+
+// Kalman is a constant-velocity Kalman filter over state [x, y, vx, vy] with
+// position measurements — the mobility model the paper's threat model (§2)
+// grants the eavesdropper.
+type Kalman struct {
+	X [4]float64    // state estimate
+	P [4][4]float64 // state covariance
+	Q float64       // process (acceleration) noise spectral density
+	R float64       // measurement noise variance (per axis)
+}
+
+// NewKalman initializes a filter at position p with diffuse velocity.
+func NewKalman(p geom.Point, processNoise, measurementNoise float64) *Kalman {
+	k := &Kalman{Q: processNoise, R: measurementNoise}
+	k.X = [4]float64{p.X, p.Y, 0, 0}
+	for i := 0; i < 4; i++ {
+		k.P[i][i] = 1
+	}
+	k.P[2][2], k.P[3][3] = 4, 4 // diffuse initial velocity
+	return k
+}
+
+// Predict advances the state by dt seconds.
+func (k *Kalman) Predict(dt float64) {
+	// x' = F x with F = [I, dt·I; 0, I].
+	k.X[0] += dt * k.X[2]
+	k.X[1] += dt * k.X[3]
+	// P' = F P Fᵀ + Q(dt). Use the white-acceleration discretization.
+	var f [4][4]float64
+	for i := 0; i < 4; i++ {
+		f[i][i] = 1
+	}
+	f[0][2], f[1][3] = dt, dt
+	var fp [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for l := 0; l < 4; l++ {
+				fp[i][j] += f[i][l] * k.P[l][j]
+			}
+		}
+	}
+	var p [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for l := 0; l < 4; l++ {
+				p[i][j] += fp[i][l] * f[j][l]
+			}
+		}
+	}
+	dt2 := dt * dt
+	dt3 := dt2 * dt
+	dt4 := dt3 * dt
+	q := k.Q
+	for _, axis := range []int{0, 1} {
+		p[axis][axis] += q * dt4 / 4
+		p[axis][axis+2] += q * dt3 / 2
+		p[axis+2][axis] += q * dt3 / 2
+		p[axis+2][axis+2] += q * dt2
+	}
+	k.P = p
+}
+
+// Update incorporates a position measurement and returns the Mahalanobis
+// distance of the innovation (useful for gating).
+func (k *Kalman) Update(z geom.Point) float64 {
+	// Innovation y = z - Hx, H = [I 0].
+	yx := z.X - k.X[0]
+	yy := z.Y - k.X[1]
+	// S = H P Hᵀ + R (2x2).
+	s00 := k.P[0][0] + k.R
+	s01 := k.P[0][1]
+	s10 := k.P[1][0]
+	s11 := k.P[1][1] + k.R
+	det := s00*s11 - s01*s10
+	if det <= 0 {
+		det = 1e-12
+	}
+	i00, i01 := s11/det, -s01/det
+	i10, i11 := -s10/det, s00/det
+	maha := math.Sqrt(yx*(i00*yx+i01*yy) + yy*(i10*yx+i11*yy))
+	// Kalman gain K = P Hᵀ S⁻¹ (4x2).
+	var gain [4][2]float64
+	for i := 0; i < 4; i++ {
+		gain[i][0] = k.P[i][0]*i00 + k.P[i][1]*i10
+		gain[i][1] = k.P[i][0]*i01 + k.P[i][1]*i11
+	}
+	for i := 0; i < 4; i++ {
+		k.X[i] += gain[i][0]*yx + gain[i][1]*yy
+	}
+	// P = (I - K H) P.
+	var p [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			p[i][j] = k.P[i][j] - gain[i][0]*k.P[0][j] - gain[i][1]*k.P[1][j]
+		}
+	}
+	k.P = p
+	return maha
+}
+
+// Position returns the current position estimate.
+func (k *Kalman) Position() geom.Point { return geom.Point{X: k.X[0], Y: k.X[1]} }
+
+// Velocity returns the current velocity estimate.
+func (k *Kalman) Velocity() geom.Point { return geom.Point{X: k.X[2], Y: k.X[3]} }

@@ -1,0 +1,196 @@
+// Package radar implements the eavesdropper's FMCW processing pipeline from
+// §3 and §9.1 of the paper: range FFT, digital beamforming across the
+// antenna array (Eq. 2), successive-frame background subtraction,
+// range–angle power profiles, peak extraction with smoothing and rejection,
+// Kalman-filter multi-target tracking, and breathing-phase extraction.
+//
+// The same pipeline serves three roles in the reproduction: it is the
+// adversary RF-Protect defends against, the measurement instrument for the
+// spoofing-accuracy experiments (Fig. 9–11), and — with fake-trajectory
+// disclosure — the legitimate sensor of Fig. 13.
+package radar
+
+import (
+	"math"
+	"math/cmplx"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/fmcw"
+)
+
+// Config tunes the processing pipeline.
+type Config struct {
+	AngleBins    int     // beamforming grid resolution over [0, π]
+	MaxRange     float64 // ignore range bins beyond this (meters); 0 = Nyquist limit
+	MinRange     float64 // ignore range bins closer than this (meters)
+	Window       dsp.Window
+	MinPeakPower float64 // absolute detection threshold on the power profile
+	// MinPeakRatio additionally requires a peak to exceed this fraction of
+	// the strongest cell in the profile; it suppresses multipath sidelobes.
+	MinPeakRatio float64
+	MaxTargets   int // cap on detections per frame
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		AngleBins:    181,
+		MinRange:     0.3,
+		Window:       dsp.Hann,
+		MinPeakPower: 1e-6,
+		MinPeakRatio: 0.12,
+		MaxTargets:   8,
+	}
+}
+
+// Profile is a range–angle power map: Power[r*AngleBins + a] is the power at
+// range bin r, angle bin a.
+type Profile struct {
+	Params    fmcw.Params
+	Time      float64
+	RangeBins int
+	AngleBins int
+	Power     []float64
+}
+
+// RangeOfBin returns the range in meters at (possibly fractional) bin r.
+func (p *Profile) RangeOfBin(r float64) float64 {
+	n := p.Params.SamplesPerChirp()
+	beat := r * p.Params.SampleRate / float64(n)
+	return p.Params.DistanceForBeat(beat)
+}
+
+// AngleOfBin returns the AoA in radians at (possibly fractional) angle bin a.
+func (p *Profile) AngleOfBin(a float64) float64 {
+	return a * math.Pi / float64(p.AngleBins-1)
+}
+
+// At returns the power at integer bin (r, a).
+func (p *Profile) At(r, a int) float64 { return p.Power[r*p.AngleBins+a] }
+
+// Processor computes range–angle profiles and detections.
+type Processor struct {
+	cfg Config
+	// steering[a][k] is the beamforming weight conj(steer) for angle bin a,
+	// antenna k, cached per (params, angle grid).
+	steering  [][]complex128
+	steerFor  fmcw.Params
+	steerBins int
+}
+
+// NewProcessor returns a Processor with the given configuration;
+// zero-valued fields fall back to DefaultConfig values.
+func NewProcessor(cfg Config) *Processor {
+	def := DefaultConfig()
+	if cfg.AngleBins < 2 {
+		cfg.AngleBins = def.AngleBins
+	}
+	if cfg.MinPeakPower <= 0 {
+		cfg.MinPeakPower = def.MinPeakPower
+	}
+	if cfg.MinPeakRatio <= 0 {
+		cfg.MinPeakRatio = def.MinPeakRatio
+	}
+	if cfg.MaxTargets <= 0 {
+		cfg.MaxTargets = def.MaxTargets
+	}
+	return &Processor{cfg: cfg}
+}
+
+// Config returns the processor's effective configuration.
+func (pr *Processor) Config() Config { return pr.cfg }
+
+func (pr *Processor) steeringFor(p fmcw.Params) [][]complex128 {
+	if pr.steering != nil && pr.steerFor == p && pr.steerBins == pr.cfg.AngleBins {
+		return pr.steering
+	}
+	bins := pr.cfg.AngleBins
+	lambda := p.Wavelength()
+	d := p.Spacing()
+	st := make([][]complex128, bins)
+	for a := 0; a < bins; a++ {
+		theta := float64(a) * math.Pi / float64(bins-1)
+		row := make([]complex128, p.NumAntennas)
+		for k := 0; k < p.NumAntennas; k++ {
+			// Matched filter: conjugate of the synthesis steering phase
+			// e^{-j2πkd cosθ/λ}, cf. Eq. 2.
+			row[k] = cmplx.Exp(complex(0, 2*math.Pi*float64(k)*d*math.Cos(theta)/lambda))
+		}
+		st[a] = row
+	}
+	pr.steering = st
+	pr.steerFor = p
+	pr.steerBins = bins
+	return st
+}
+
+// RangeAngle computes the range–angle power profile of a (typically
+// background-subtracted) frame: per-antenna windowed range FFT, then Eq. 2
+// beamforming at every range bin.
+func (pr *Processor) RangeAngle(f *fmcw.Frame) *Profile {
+	p := f.Params
+	n := p.SamplesPerChirp()
+	nAnt := p.NumAntennas
+	win := pr.cfg.Window.Coefficients(n)
+
+	// Range FFT per antenna.
+	spectra := make([][]complex128, nAnt)
+	for k := 0; k < nAnt; k++ {
+		x := make([]complex128, n)
+		for i, v := range f.Data[k] {
+			x[i] = v * complex(win[i], 0)
+		}
+		dsp.FFTInPlace(x)
+		spectra[k] = x
+	}
+
+	maxBin := pr.maxRangeBin(p, n)
+	minBin := pr.minRangeBin(p, n)
+	bins := pr.cfg.AngleBins
+	st := pr.steeringFor(p)
+	prof := &Profile{
+		Params:    p,
+		Time:      f.Time,
+		RangeBins: maxBin,
+		AngleBins: bins,
+		Power:     make([]float64, maxBin*bins),
+	}
+	h := make([]complex128, nAnt)
+	for r := minBin; r < maxBin; r++ {
+		for k := 0; k < nAnt; k++ {
+			h[k] = spectra[k][r]
+		}
+		row := prof.Power[r*bins : (r+1)*bins]
+		for a := 0; a < bins; a++ {
+			var s complex128
+			w := st[a]
+			for k := 0; k < nAnt; k++ {
+				s += h[k] * w[k]
+			}
+			row[a] = real(s)*real(s) + imag(s)*imag(s)
+		}
+	}
+	return prof
+}
+
+func (pr *Processor) maxRangeBin(p fmcw.Params, n int) int {
+	maxBin := n / 2
+	if pr.cfg.MaxRange > 0 {
+		b := int(math.Ceil(p.BeatFrequency(pr.cfg.MaxRange) / p.SampleRate * float64(n)))
+		if b < maxBin {
+			maxBin = b
+		}
+	}
+	return maxBin
+}
+
+func (pr *Processor) minRangeBin(p fmcw.Params, n int) int {
+	if pr.cfg.MinRange <= 0 {
+		return 0
+	}
+	return int(p.BeatFrequency(pr.cfg.MinRange) / p.SampleRate * float64(n))
+}
+
+// BackgroundSubtract returns cur - prev, the standard static-reflector
+// rejection (§3).
+func BackgroundSubtract(cur, prev *fmcw.Frame) *fmcw.Frame { return cur.Sub(prev) }

@@ -1,0 +1,255 @@
+package radar
+
+import (
+	"math"
+	"sort"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/geom"
+)
+
+// TimedPoint is a tracked position with its capture time.
+type TimedPoint struct {
+	Time float64
+	Pos  geom.Point
+}
+
+// Track is one target hypothesis maintained by the tracker.
+type Track struct {
+	ID        int
+	Points    []TimedPoint
+	Confirmed bool
+
+	kf       *Kalman
+	hits     int
+	misses   int
+	lastTime float64
+}
+
+// Trajectory returns the track's positions as a geom.Trajectory.
+func (t *Track) Trajectory() geom.Trajectory {
+	out := make(geom.Trajectory, len(t.Points))
+	for i, p := range t.Points {
+		out[i] = p.Pos
+	}
+	return out
+}
+
+// Smoothed returns the track positions after median filtering (window 5) on
+// each axis — the paper's "smoothing over time and peak rejection" (§9.1).
+func (t *Track) Smoothed() geom.Trajectory {
+	n := len(t.Points)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, p := range t.Points {
+		xs[i], ys[i] = p.Pos.X, p.Pos.Y
+	}
+	xs = dsp.MedianFilter(xs, 5)
+	ys = dsp.MedianFilter(ys, 5)
+	xs = dsp.MovingAverage(xs, 3)
+	ys = dsp.MovingAverage(ys, 3)
+	out := make(geom.Trajectory, n)
+	for i := range out {
+		out[i] = geom.Point{X: xs[i], Y: ys[i]}
+	}
+	return out
+}
+
+// TrackerConfig tunes multi-target tracking.
+type TrackerConfig struct {
+	GateDistance   float64 // max association distance in meters
+	ConfirmHits    int     // consecutive hits to confirm a track
+	MaxMisses      int     // consecutive misses before a track is dropped
+	ProcessNoise   float64 // Kalman acceleration noise
+	MeasNoise      float64 // Kalman measurement variance
+	MinTrackPoints int     // tracks shorter than this are discarded on output
+}
+
+// DefaultTrackerConfig returns tracking parameters suited to walking humans
+// observed at ~20 Hz.
+func DefaultTrackerConfig() TrackerConfig {
+	return TrackerConfig{
+		GateDistance:   1.0,
+		ConfirmHits:    3,
+		MaxMisses:      8,
+		ProcessNoise:   2.0,
+		MeasNoise:      0.04,
+		MinTrackPoints: 10,
+	}
+}
+
+// Tracker associates per-frame detections into tracks with nearest-neighbor
+// gating over Kalman predictions.
+type Tracker struct {
+	cfg    TrackerConfig
+	nextID int
+	active []*Track
+	done   []*Track
+}
+
+// NewTracker returns a tracker; zero-valued config fields take defaults.
+func NewTracker(cfg TrackerConfig) *Tracker {
+	def := DefaultTrackerConfig()
+	if cfg.GateDistance <= 0 {
+		cfg.GateDistance = def.GateDistance
+	}
+	if cfg.ConfirmHits <= 0 {
+		cfg.ConfirmHits = def.ConfirmHits
+	}
+	if cfg.MaxMisses <= 0 {
+		cfg.MaxMisses = def.MaxMisses
+	}
+	if cfg.ProcessNoise <= 0 {
+		cfg.ProcessNoise = def.ProcessNoise
+	}
+	if cfg.MeasNoise <= 0 {
+		cfg.MeasNoise = def.MeasNoise
+	}
+	if cfg.MinTrackPoints <= 0 {
+		cfg.MinTrackPoints = def.MinTrackPoints
+	}
+	return &Tracker{cfg: cfg, nextID: 1}
+}
+
+// Observe feeds one frame's detections at time t into the tracker.
+func (tr *Tracker) Observe(t float64, detections []Detection) {
+	// Predict all active tracks forward.
+	for _, trk := range tr.active {
+		dt := t - trk.lastTime
+		if dt > 0 {
+			trk.kf.Predict(dt)
+		}
+	}
+	// Greedy nearest-neighbor association: sort candidate (track, det)
+	// pairs by distance, take each track and detection at most once.
+	type pair struct {
+		trackIdx, detIdx int
+		dist             float64
+	}
+	var pairs []pair
+	for ti, trk := range tr.active {
+		pred := trk.kf.Position()
+		for di, det := range detections {
+			d := pred.Dist(det.Pos)
+			if d <= tr.cfg.GateDistance {
+				pairs = append(pairs, pair{ti, di, d})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].dist < pairs[j].dist })
+	usedTrack := make(map[int]bool)
+	usedDet := make(map[int]bool)
+	for _, p := range pairs {
+		if usedTrack[p.trackIdx] || usedDet[p.detIdx] {
+			continue
+		}
+		usedTrack[p.trackIdx] = true
+		usedDet[p.detIdx] = true
+		trk := tr.active[p.trackIdx]
+		det := detections[p.detIdx]
+		trk.kf.Update(det.Pos)
+		trk.Points = append(trk.Points, TimedPoint{Time: t, Pos: trk.kf.Position()})
+		trk.hits++
+		trk.misses = 0
+		trk.lastTime = t
+		if trk.hits >= tr.cfg.ConfirmHits {
+			trk.Confirmed = true
+		}
+	}
+	// Unmatched tracks miss.
+	var alive []*Track
+	for ti, trk := range tr.active {
+		if usedTrack[ti] {
+			alive = append(alive, trk)
+			continue
+		}
+		trk.misses++
+		trk.lastTime = t
+		if trk.misses > tr.cfg.MaxMisses {
+			tr.done = append(tr.done, trk)
+		} else {
+			alive = append(alive, trk)
+		}
+	}
+	tr.active = alive
+	// Unmatched detections spawn tracks.
+	for di, det := range detections {
+		if usedDet[di] {
+			continue
+		}
+		trk := &Track{
+			ID:       tr.nextID,
+			kf:       NewKalman(det.Pos, tr.cfg.ProcessNoise, tr.cfg.MeasNoise),
+			hits:     1,
+			lastTime: t,
+		}
+		tr.nextID++
+		trk.Points = append(trk.Points, TimedPoint{Time: t, Pos: det.Pos})
+		tr.active = append(tr.active, trk)
+	}
+}
+
+// Tracks returns all confirmed tracks (finished and active) with at least
+// MinTrackPoints points, ordered by ID.
+func (tr *Tracker) Tracks() []*Track {
+	var out []*Track
+	for _, t := range append(append([]*Track{}, tr.done...), tr.active...) {
+		if t.Confirmed && len(t.Points) >= tr.cfg.MinTrackPoints {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TrackDetections is a convenience that feeds a detection sequence (one
+// slice per frame, times taken from the detections) through a fresh tracker
+// and returns the confirmed tracks.
+func TrackDetections(cfg TrackerConfig, frames [][]Detection) []*Track {
+	tr := NewTracker(cfg)
+	for _, dets := range frames {
+		if len(dets) == 0 {
+			continue
+		}
+		tr.Observe(dets[0].Time, dets)
+	}
+	return tr.Tracks()
+}
+
+// IsOscillatory reports whether a track looks like a non-human kinetic
+// reflector (a fan): small spatial extent combined with fast periodic
+// motion. The paper's threat model has the eavesdropper filter these out.
+func IsOscillatory(t *Track, frameRate float64) bool {
+	traj := t.Trajectory()
+	if len(traj) < 8 {
+		return false
+	}
+	if traj.RangeOfMotion() > 1.2 {
+		return false
+	}
+	xs := make([]float64, len(traj))
+	for i, p := range traj {
+		xs[i] = p.X
+	}
+	fx := dsp.DominantFrequency(xs, frameRate)
+	ys := make([]float64, len(traj))
+	for i, p := range traj {
+		ys[i] = p.Y
+	}
+	fy := dsp.DominantFrequency(ys, frameRate)
+	f := math.Max(fx, fy)
+	// Walking humans change direction well below ~1 Hz; fan blades orbit at
+	// one to tens of Hz (possibly aliased, but still fast and regular).
+	return f > 0.9
+}
+
+// FilterHumanTracks drops oscillatory (fan-like) tracks.
+func FilterHumanTracks(tracks []*Track, frameRate float64) []*Track {
+	var out []*Track
+	for _, t := range tracks {
+		if !IsOscillatory(t, frameRate) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+// Package reflector models the RF-Protect hardware tag of §5: a panel of
+// switched directional antennas deployed along a wall, an on/off RF switch
+// that frequency-shifts the reflected chirp to spoof distance (§5.1), an
+// antenna selector that spoofs direction (§5.2), and an analog phase shifter
+// that spoofs breathing (§5.3 / §11.4).
+//
+// The tag never transmits a signal of its own: every emitted fmcw.Return is
+// a true reflection of the incident chirp, with amplitude inherited from the
+// radar-equation falloff — which is what makes the defense hard to detect
+// and makes it vanish automatically when the radar stops transmitting.
+package reflector
+
+import (
+	"fmt"
+	"math"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+)
+
+// Config describes the physical tag.
+type Config struct {
+	// Position is the first antenna's world position; the remaining antennas
+	// are laid out every Spacing meters along Axis.
+	Position geom.Point
+	Axis     float64 // panel direction in radians
+	// NumAntennas is the size of the switched array (paper prototype: 6).
+	NumAntennas int
+	// Spacing is the antenna separation in meters (paper prototype: ~0.2 m).
+	Spacing float64
+	// Gain is the LNA amplitude gain applied to the reflection.
+	Gain float64
+	// Duty is the switching duty cycle in (0, 1); 0 means 0.5. It determines
+	// the harmonic structure of the spoofed reflection.
+	Duty float64
+	// MaxHarmonic is the highest switching harmonic simulated (default 3).
+	MaxHarmonic int
+	// SSB suppresses negative harmonics, modeling single-sideband switching
+	// as in Hitchhike [50] (§5.1).
+	SSB bool
+	// SyncGranularity is the control-update period in seconds; the paper
+	// notes tens of milliseconds suffice (default 10 ms).
+	SyncGranularity float64
+	// ChirpSlope is the (publicly known or scanned) slope of the target
+	// radar's chirp, used to convert distance to switching frequency.
+	ChirpSlope float64
+	// Wavelength is the carrier wavelength used to scale breathing phase.
+	Wavelength float64
+}
+
+// DefaultConfig returns the paper's prototype: 6 antennas at 20 cm spacing,
+// 50% duty, 10 ms control granularity, matched to fmcw.DefaultParams.
+func DefaultConfig(pos geom.Point, axis float64) Config {
+	p := fmcw.DefaultParams()
+	return Config{
+		Position:        pos,
+		Axis:            axis,
+		NumAntennas:     6,
+		Spacing:         0.2,
+		Gain:            60,
+		Duty:            0.5,
+		MaxHarmonic:     3,
+		SyncGranularity: 0.010,
+		ChirpSlope:      p.Slope(),
+		Wavelength:      p.Wavelength(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumAntennas < 1:
+		return fmt.Errorf("reflector: NumAntennas %d must be >= 1", c.NumAntennas)
+	case c.Spacing <= 0:
+		return fmt.Errorf("reflector: Spacing %v must be positive", c.Spacing)
+	case c.Duty < 0 || c.Duty >= 1:
+		return fmt.Errorf("reflector: Duty %v must be in [0, 1)", c.Duty)
+	case c.ChirpSlope <= 0:
+		return fmt.Errorf("reflector: ChirpSlope %v must be positive", c.ChirpSlope)
+	}
+	return nil
+}
+
+func (c Config) duty() float64 {
+	if c.Duty == 0 {
+		return 0.5
+	}
+	return c.Duty
+}
+
+func (c Config) maxHarmonic() int {
+	if c.MaxHarmonic <= 0 {
+		return 3
+	}
+	return c.MaxHarmonic
+}
+
+func (c Config) syncGranularity() float64 {
+	if c.SyncGranularity <= 0 {
+		return 0.010
+	}
+	return c.SyncGranularity
+}
+
+// AntennaPosition returns the world position of antenna i.
+func (c Config) AntennaPosition(i int) geom.Point {
+	d := geom.Point{X: math.Cos(c.Axis), Y: math.Sin(c.Axis)}
+	return c.Position.Add(d.Scale(float64(i) * c.Spacing))
+}
+
+// SwitchFrequency returns the on/off switching frequency that spoofs the
+// given extra distance: f = 2·sl·Δd/C, inverting Eq. 1 (Eq. 3 of the paper
+// up to its dropped round-trip factor of two).
+func (c Config) SwitchFrequency(extraDistance float64) float64 {
+	return 2 * c.ChirpSlope * extraDistance / fmcw.C
+}
+
+// SpoofedExtraDistance inverts SwitchFrequency.
+func (c Config) SpoofedExtraDistance(switchFreq float64) float64 {
+	return switchFreq * fmcw.C / (2 * c.ChirpSlope)
+}
+
+// HarmonicCoefficient returns |c_n| of the duty-d 0/1 square wave's Fourier
+// series: c_0 = d, c_n = sin(πnd)/(πn). The n = 0 term is the static
+// (background-subtracted) reflection; n = ±1 carry the ghost; higher
+// harmonics are the weak extra images §5.1 describes.
+func (c Config) HarmonicCoefficient(n int) float64 {
+	d := c.duty()
+	if n == 0 {
+		return d
+	}
+	fn := float64(n)
+	return math.Abs(math.Sin(math.Pi*fn*d) / (math.Pi * fn))
+}
+
+// ControlState is the tag state during one sync tick.
+type ControlState struct {
+	Antenna       int     // active antenna index
+	SwitchFreq    float64 // on/off switching frequency in Hz (0 = switch idle)
+	PhaseShift    float64 // phase-shifter setting in radians
+	ExtraDistance float64 // the distance offset SwitchFreq encodes
+}
+
+// Reflector is a programmed RF-Protect tag. It implements
+// scene.ReturnSource. The zero value is unusable; construct with New.
+type Reflector struct {
+	cfg           Config
+	sessions      []*session
+	amplitudeMode AmplitudeMode
+}
+
+// session is one programmed ghost: a dense control schedule.
+type session struct {
+	start  float64
+	tick   float64
+	states []ControlState
+	// intended is the spoofed (antenna ray, extra distance) log disclosed to
+	// legitimate sensors.
+}
+
+// New returns a tag with the given configuration.
+func New(cfg Config) (*Reflector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reflector{cfg: cfg}, nil
+}
+
+// Config returns the tag configuration.
+func (r *Reflector) Config() Config { return r.cfg }
+
+// stateAt returns the active control state at time t, if any.
+func (s *session) stateAt(t float64) (ControlState, bool) {
+	if t < s.start {
+		return ControlState{}, false
+	}
+	i := int((t - s.start) / s.tick)
+	if i >= len(s.states) {
+		return ControlState{}, false
+	}
+	return s.states[i], true
+}
+
+// ReturnsAt implements scene.ReturnSource: the reflections the tag produces
+// at time t for the given (unknown to the tag) radar geometry.
+//
+// Each active session reflects from its selected antenna. The square-wave
+// switching splits the reflection into harmonics: the n-th harmonic adds
+// n·f_switch to the beat frequency, i.e. appears n·Δd beyond the antenna.
+func (r *Reflector) ReturnsAt(t float64, radar fmcw.Array) []fmcw.Return {
+	var out []fmcw.Return
+	for _, s := range r.sessions {
+		st, ok := s.stateAt(t)
+		if !ok {
+			continue
+		}
+		p := r.cfg.AntennaPosition(st.Antenna)
+		d := radar.DistanceOf(p)
+		if d < 0.3 {
+			d = 0.3
+		}
+		// Round-trip radar-equation falloff, then LNA gain.
+		base := r.cfg.Gain / (d * d)
+		if r.amplitudeMode == AmplitudeMatchHuman {
+			// Variable-gain amplification: make the first harmonic's power
+			// equal a unit-RCS human at the spoofed location, preserving the
+			// relative harmonic structure (Fig. 10b's power-matched ghost).
+			spoofDist := d + st.ExtraDistance
+			if spoofDist < 0.3 {
+				spoofDist = 0.3
+			}
+			c1 := r.cfg.HarmonicCoefficient(1)
+			if c1 > 0 {
+				base = 1 / (spoofDist * spoofDist * c1)
+			}
+		}
+		lo := -r.cfg.maxHarmonic()
+		if r.cfg.SSB {
+			lo = 0
+		}
+		for n := lo; n <= r.cfg.maxHarmonic(); n++ {
+			amp := base * r.cfg.HarmonicCoefficient(n)
+			if st.SwitchFreq == 0 && n != 0 {
+				continue // switch idle: plain static reflection only
+			}
+			if amp < 1e-9 {
+				continue
+			}
+			out = append(out, fmcw.Return{
+				Delay:     2 * d / fmcw.C,
+				Amplitude: amp,
+				AoA:       radar.AoAOf(p),
+				FreqShift: float64(n) * st.SwitchFreq,
+				Phase:     st.PhaseShift,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package replayspoof implements the FMCW distance-spoofing *attacker*
+// designs RF-Protect is compared against in §12 (Komissarov & Wool; Miura
+// et al.; Nashimoto et al.): an active device that receives the radar's
+// chirp, and re-transmits a delayed, amplified copy so targets appear
+// farther away.
+//
+// The paper's two criticisms of this family are modeled explicitly:
+//
+//  1. Active transmission — the spoofer radiates a signal of its own.
+//  2. Synchronization lag — it needs time to notice the radar's state, so a
+//     radar that abruptly stops transmitting catches the spoofer still
+//     emitting (Kapoor et al. [27]), while RF-Protect's passive reflections
+//     vanish instantly.
+package replayspoof
+
+import (
+	"math"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+)
+
+// Spoofer is a replay-based active FMCW spoofer.
+type Spoofer struct {
+	// Position of the spoofer's antenna.
+	Position geom.Point
+	// ExtraDelay is added to the replayed chirp (spoofed extra distance
+	// C·ExtraDelay/2 one-way).
+	ExtraDelay float64
+	// Gain is the replay amplifier's amplitude gain.
+	Gain float64
+	// SyncLag is how long the spoofer takes to react to the radar turning
+	// on or off; real designs need tens of milliseconds to re-synchronize.
+	SyncLag float64
+
+	trueState      bool    // radar's actual transmit state as last observed
+	stateBefore    bool    // belief held before the most recent transition
+	lastTransition float64 // time of the most recent observed transition
+}
+
+// New returns a spoofer with a typical 80 ms synchronization lag.
+func New(pos geom.Point, extraDelay, gain float64) *Spoofer {
+	return &Spoofer{Position: pos, ExtraDelay: extraDelay, Gain: gain, SyncLag: 0.08}
+}
+
+// ObserveRadar informs the spoofer of the radar's true transmit state at
+// time t; the spoofer's belief (and hence its own transmission) follows
+// after SyncLag. Calls must be in non-decreasing time order.
+func (s *Spoofer) ObserveRadar(t float64, on bool) {
+	if on != s.trueState {
+		s.stateBefore = s.trueState
+		s.trueState = on
+		s.lastTransition = t
+	}
+}
+
+// TransmitsAt reports whether the spoofer is radiating at time t: it
+// follows the radar's state with SyncLag delay, so for SyncLag seconds
+// after the radar goes quiet the spoofer keeps transmitting — the tell the
+// probe exploits.
+func (s *Spoofer) TransmitsAt(t float64) bool {
+	if t < s.lastTransition+s.SyncLag {
+		return s.stateBefore
+	}
+	return s.trueState
+}
+
+// EmittedPower returns the spoofer's radiated power at time t as sensed by
+// a listening receiver at the given position — the radar-off probe of [27].
+// A passive reflector (RF-Protect) contributes zero here because it has
+// nothing to reflect when the radar is silent.
+func (s *Spoofer) EmittedPower(t float64, at geom.Point) float64 {
+	if !s.TransmitsAt(t) {
+		return 0
+	}
+	d := s.Position.Dist(at)
+	if d < 0.3 {
+		d = 0.3
+	}
+	a := s.Gain / d
+	return a * a
+}
+
+// ReturnsAt implements scene.ReturnSource for the radar-on case: the
+// replayed chirp appears as a return from the spoofer's direction with the
+// extra programmed delay. (If the spoofer believes the radar is off it
+// replays nothing.)
+func (s *Spoofer) ReturnsAt(t float64, radar fmcw.Array) []fmcw.Return {
+	if !s.TransmitsAt(t) {
+		return nil
+	}
+	d := radar.DistanceOf(s.Position)
+	if d < 0.3 {
+		d = 0.3
+	}
+	// One-way incident capture, re-transmit: amplitude falls as 1/d each
+	// way, boosted by the replay gain.
+	amp := s.Gain / (d * d)
+	return []fmcw.Return{{
+		Delay:     2*d/fmcw.C + s.ExtraDelay,
+		Amplitude: amp,
+		AoA:       radar.AoAOf(s.Position),
+	}}
+}
+
+// SpoofedDistance returns the apparent target distance the replay creates.
+func (s *Spoofer) SpoofedDistance(radar fmcw.Array) float64 {
+	return radar.DistanceOf(s.Position) + fmcw.C*s.ExtraDelay/2
+}
+
+// DetectByProbe runs the radar-off probe of [27] over a listening window:
+// given emission-power samples taken while the radar was silent, it reports
+// whether an active spoofer gave itself away. threshold guards against the
+// receiver noise floor.
+func DetectByProbe(samples []float64, threshold float64) bool {
+	for _, p := range samples {
+		if p > threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxFloat returns the maximum of xs (0 for empty), a small helper for
+// probe reports.
+func MaxFloat(xs []float64) float64 {
+	m := 0.0
+	for _, v := range xs {
+		m = math.Max(m, v)
+	}
+	return m
+}

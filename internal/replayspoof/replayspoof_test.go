@@ -1,0 +1,89 @@
+package replayspoof
+
+import (
+	"math"
+	"testing"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+)
+
+func TestSpoofedDistance(t *testing.T) {
+	radar := fmcw.Array{Position: geom.Point{}, Facing: 1}
+	sp := New(geom.Point{X: 0, Y: 2}, 20e-9, 10) // 20 ns -> +3 m
+	want := 2 + fmcw.C*20e-9/2
+	if got := sp.SpoofedDistance(radar); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("spoofed distance %v, want %v", got, want)
+	}
+}
+
+func TestReplayAppearsAtSpoofedRange(t *testing.T) {
+	radar := fmcw.Array{Position: geom.Point{}, Facing: 1}
+	sp := New(geom.Point{X: 0, Y: 2}, 20e-9, 10)
+	sp.ObserveRadar(0, true)
+	rets := sp.ReturnsAt(1, radar)
+	if len(rets) != 1 {
+		t.Fatalf("returns %v", rets)
+	}
+	gotDist := rets[0].Delay * fmcw.C / 2
+	if math.Abs(gotDist-sp.SpoofedDistance(radar)) > 1e-9 {
+		t.Fatalf("return at %v m, want %v m", gotDist, sp.SpoofedDistance(radar))
+	}
+}
+
+func TestSyncLagStateMachine(t *testing.T) {
+	sp := New(geom.Point{X: 0, Y: 2}, 0, 10)
+	sp.SyncLag = 0.1
+	sp.ObserveRadar(0, true)
+	if sp.TransmitsAt(0.05) {
+		t.Fatal("should still be off during sync-up")
+	}
+	if !sp.TransmitsAt(0.2) {
+		t.Fatal("should transmit once synced")
+	}
+	// Radar turns off at t=1: spoofer keeps transmitting for SyncLag.
+	sp.ObserveRadar(1, false)
+	if !sp.TransmitsAt(1.05) {
+		t.Fatal("the tell: spoofer must still transmit right after radar-off")
+	}
+	if sp.TransmitsAt(1.2) {
+		t.Fatal("spoofer should have stopped after SyncLag")
+	}
+}
+
+func TestEmittedPowerAndProbe(t *testing.T) {
+	sp := New(geom.Point{X: 0, Y: 2}, 0, 10)
+	sp.ObserveRadar(0, true)
+	listener := geom.Point{X: 0, Y: 0}
+	if p := sp.EmittedPower(0.5, listener); p <= 0 {
+		t.Fatal("no emission while transmitting")
+	}
+	// Power falls off with distance squared.
+	near := sp.EmittedPower(0.5, geom.Point{X: 0, Y: 1})
+	far := sp.EmittedPower(0.5, geom.Point{X: 0, Y: 0})
+	if near <= far {
+		t.Fatal("power should fall with distance")
+	}
+	sp.ObserveRadar(1, false)
+	if p := sp.EmittedPower(2, listener); p != 0 {
+		t.Fatalf("emission after shutdown: %v", p)
+	}
+	if !DetectByProbe([]float64{0, 0, 0.5}, 0.1) {
+		t.Fatal("probe missed emission")
+	}
+	if DetectByProbe([]float64{0.01, 0.02}, 0.1) {
+		t.Fatal("probe false alarm on noise floor")
+	}
+	if MaxFloat(nil) != 0 || MaxFloat([]float64{1, 3, 2}) != 3 {
+		t.Fatal("MaxFloat")
+	}
+}
+
+func TestReplaySilentBeforeSync(t *testing.T) {
+	radar := fmcw.Array{Position: geom.Point{}, Facing: 1}
+	sp := New(geom.Point{X: 0, Y: 2}, 0, 10)
+	// Never observed the radar on: no replay.
+	if rets := sp.ReturnsAt(0, radar); rets != nil {
+		t.Fatalf("replay without sync: %v", rets)
+	}
+}

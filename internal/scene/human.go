@@ -1,0 +1,101 @@
+package scene
+
+import (
+	"math"
+
+	"rfprotect/internal/geom"
+)
+
+// Breathing models chest micro-motion: a sinusoidal radial displacement of
+// the reflecting surface. Typical resting adults breathe at 0.2–0.3 Hz with
+// ~5 mm chest excursion, which at 6.5 GHz produces an easily measurable
+// carrier-phase swing (§11.4).
+type Breathing struct {
+	Rate      float64 // breaths per second (Hz)
+	Amplitude float64 // chest displacement amplitude in meters
+	Phase     float64 // initial phase in radians
+}
+
+// DefaultBreathing returns a typical resting adult: 0.25 Hz (15 breaths per
+// minute), 5 mm excursion.
+func DefaultBreathing() Breathing {
+	return Breathing{Rate: 0.25, Amplitude: 0.005}
+}
+
+// Displacement returns the chest displacement in meters at time t.
+func (b Breathing) Displacement(t float64) float64 {
+	if b.Rate == 0 || b.Amplitude == 0 {
+		return 0
+	}
+	return b.Amplitude * math.Sin(2*math.Pi*b.Rate*t+b.Phase)
+}
+
+// Human is a moving, breathing point scatterer. Its trajectory is sampled at
+// SampleRate; positions between samples are linearly interpolated, and the
+// human holds its last position after the trajectory ends.
+type Human struct {
+	Traj       geom.Trajectory
+	SampleRate float64 // trajectory samples per second
+	RCS        float64 // reflection amplitude (radar cross-section proxy)
+	Breathing  Breathing
+	Start      float64 // time at which the trajectory begins
+}
+
+// NewHuman returns a human following traj at fs samples/second with a
+// typical torso RCS and resting breathing.
+func NewHuman(traj geom.Trajectory, fs float64) *Human {
+	return &Human{Traj: traj, SampleRate: fs, RCS: 1.0, Breathing: DefaultBreathing()}
+}
+
+// PositionAt returns the interpolated position at time t.
+func (h *Human) PositionAt(t float64) geom.Point {
+	if len(h.Traj) == 0 {
+		return geom.Point{}
+	}
+	ft := (t - h.Start) * h.SampleRate
+	if ft <= 0 {
+		return h.Traj[0]
+	}
+	i := int(ft)
+	if i >= len(h.Traj)-1 {
+		return h.Traj[len(h.Traj)-1]
+	}
+	return geom.Lerp(h.Traj[i], h.Traj[i+1], ft-float64(i))
+}
+
+// Active reports whether the human's trajectory is still playing at time t.
+func (h *Human) Active(t float64) bool {
+	if len(h.Traj) == 0 {
+		return false
+	}
+	end := h.Start + float64(len(h.Traj)-1)/h.SampleRate
+	return t >= h.Start && t <= end
+}
+
+// Clutter is a static point reflector (furniture, walls seen directly, TV).
+// Background subtraction removes it; it is present so the pipeline has
+// something to remove.
+type Clutter struct {
+	Pos       geom.Point
+	Amplitude float64
+}
+
+// Fan is an oscillating kinetic reflector (a ceiling or desk fan blade):
+// a scatterer whose position orbits Center at RotationRate. The paper's
+// threat model (§2) requires the eavesdropper to filter such non-human
+// periodic motion.
+type Fan struct {
+	Center       geom.Point
+	Radius       float64 // blade-tip orbit radius in meters
+	RotationRate float64 // revolutions per second
+	Amplitude    float64
+}
+
+// PositionAt returns the blade scatterer position at time t.
+func (f Fan) PositionAt(t float64) geom.Point {
+	a := 2 * math.Pi * f.RotationRate * t
+	return geom.Point{
+		X: f.Center.X + f.Radius*math.Cos(a),
+		Y: f.Center.Y + f.Radius*math.Sin(a),
+	}
+}

@@ -1,0 +1,102 @@
+// Package scene models the physical environments of the paper's evaluation:
+// rooms with walls, static clutter, oscillating fans, humans that walk and
+// breathe, and first-order specular multipath. A Scene reduces, per frame,
+// to a list of fmcw.Return values that internal/fmcw turns into radar data.
+package scene
+
+import (
+	"math"
+
+	"rfprotect/internal/geom"
+)
+
+// Mirror is a specular reflecting plane (a wall face or a metallic cabinet
+// front) described by an infinite line through Point with unit Normal.
+// Moving scatterers produce first-order image reflections across it with
+// amplitude scaled by Reflectivity.
+type Mirror struct {
+	Point        geom.Point // any point on the plane
+	Normal       geom.Point // unit normal
+	Reflectivity float64    // amplitude fraction preserved by the bounce
+}
+
+// Reflect returns p mirrored across the plane.
+func (m Mirror) Reflect(p geom.Point) geom.Point {
+	d := p.Sub(m.Point).Dot(m.Normal)
+	return p.Sub(m.Normal.Scale(2 * d))
+}
+
+// Room is a rectangular environment spanning [0, Width] × [0, Height]
+// meters with four reflective walls.
+type Room struct {
+	Name             string
+	Width, Height    float64
+	WallReflectivity float64  // first-order wall bounce amplitude fraction
+	Cabinets         []Mirror // extra specular clutter (metal cabinets, §11.1)
+	// Speckle is the diffuse-multipath richness of the room: the amplitude
+	// fraction of random near-target companion reflections added per frame.
+	// Metallic environments (the office with its cabinets, §11.1) have high
+	// speckle, which perturbs range–angle peaks and degrades localization of
+	// humans and ghosts alike.
+	Speckle float64
+}
+
+// OfficeRoom returns the paper's office environment: 10 × 6.6 m with
+// metallic cabinets whose multipath degrades localization (§11.1 attributes
+// the office's larger errors to exactly this).
+func OfficeRoom() Room {
+	return Room{
+		Name:             "office",
+		Width:            10.0,
+		Height:           6.6,
+		WallReflectivity: 0.35,
+		Speckle:          0.6,
+		Cabinets: []Mirror{
+			{Point: geom.Point{X: 9.2, Y: 3.0}, Normal: geom.Point{X: -1, Y: 0}, Reflectivity: 0.5},
+			{Point: geom.Point{X: 5.0, Y: 6.2}, Normal: geom.Point{X: 0, Y: -1}, Reflectivity: 0.45},
+		},
+	}
+}
+
+// HomeRoom returns the paper's home environment: 15.24 × 7.62 m (50 × 25 ft)
+// with softer (drywall/furniture) reflections and no metal cabinets.
+func HomeRoom() Room {
+	return Room{
+		Name:             "home",
+		Width:            15.24,
+		Height:           7.62,
+		WallReflectivity: 0.18,
+		Speckle:          0.1,
+	}
+}
+
+// Walls returns the four wall mirrors of the room.
+func (r Room) Walls() []Mirror {
+	return []Mirror{
+		{Point: geom.Point{X: 0, Y: 0}, Normal: geom.Point{X: 0, Y: 1}, Reflectivity: r.WallReflectivity},         // bottom
+		{Point: geom.Point{X: 0, Y: r.Height}, Normal: geom.Point{X: 0, Y: -1}, Reflectivity: r.WallReflectivity}, // top
+		{Point: geom.Point{X: 0, Y: 0}, Normal: geom.Point{X: 1, Y: 0}, Reflectivity: r.WallReflectivity},         // left
+		{Point: geom.Point{X: r.Width, Y: 0}, Normal: geom.Point{X: -1, Y: 0}, Reflectivity: r.WallReflectivity},  // right
+	}
+}
+
+// Mirrors returns all specular planes: walls plus cabinets.
+func (r Room) Mirrors() []Mirror {
+	out := r.Walls()
+	return append(out, r.Cabinets...)
+}
+
+// Contains reports whether p lies inside the room (with a small margin).
+func (r Room) Contains(p geom.Point) bool {
+	const eps = 1e-9
+	return p.X >= -eps && p.X <= r.Width+eps && p.Y >= -eps && p.Y <= r.Height+eps
+}
+
+// Clamp returns p clamped into the room interior with the given margin from
+// the walls.
+func (r Room) Clamp(p geom.Point, margin float64) geom.Point {
+	return geom.Point{
+		X: math.Min(math.Max(p.X, margin), r.Width-margin),
+		Y: math.Min(math.Max(p.Y, margin), r.Height-margin),
+	}
+}

@@ -1,0 +1,165 @@
+package scene
+
+import (
+	"math/rand"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+)
+
+// ReturnSource is anything that contributes radar returns: the RF-Protect
+// reflector (internal/reflector) implements this so it can be dropped into a
+// Scene next to the humans it protects.
+type ReturnSource interface {
+	// ReturnsAt reports the reflections this source produces at time t as
+	// seen by the given radar array.
+	ReturnsAt(t float64, radar fmcw.Array) []fmcw.Return
+}
+
+// Scene is a complete simulated environment: a room, a radar, and everything
+// that reflects.
+type Scene struct {
+	Room    Room
+	Radar   fmcw.Array
+	Params  fmcw.Params
+	Humans  []*Human
+	Clutter []Clutter
+	Fans    []Fan
+	Sources []ReturnSource // e.g. the RF-Protect reflector
+
+	// Multipath enables first-order image reflections of moving scatterers
+	// across the room's mirrors.
+	Multipath bool
+	// RefDistance is the distance at which a unit-RCS scatterer has unit
+	// amplitude; amplitude falls off as (RefDistance/d)². Zero means 1 m.
+	RefDistance float64
+}
+
+// NewScene assembles a scene with the radar mounted at the middle of the
+// bottom wall facing into the room, matching the paper's deployments
+// (eavesdropper along a wall).
+func NewScene(room Room, params fmcw.Params) *Scene {
+	return &Scene{
+		Room:   room,
+		Params: params,
+		Radar: fmcw.Array{
+			Position:  geom.Point{X: room.Width / 2, Y: 0},
+			AxisAngle: 0, // array along the wall (x axis)
+			Facing:    1, // looking into the room (+y)
+		},
+		Multipath: true,
+	}
+}
+
+func (s *Scene) refDist() float64 {
+	if s.RefDistance > 0 {
+		return s.RefDistance
+	}
+	return 1
+}
+
+// amplitudeAt applies the radar-equation 1/d² amplitude falloff.
+func (s *Scene) amplitudeAt(rcs float64, p geom.Point) float64 {
+	d := s.Radar.DistanceOf(p)
+	r0 := s.refDist()
+	if d < r0 {
+		d = r0
+	}
+	return rcs * (r0 / d) * (r0 / d)
+}
+
+// movingReturn builds the direct return plus optional first-order multipath
+// images for a moving scatterer at p.
+func (s *Scene) movingReturn(p geom.Point, rcs, extraPhase float64, out []fmcw.Return) []fmcw.Return {
+	out = append(out, s.Radar.ReturnFrom(p, s.amplitudeAt(rcs, p), 0, extraPhase))
+	if s.Multipath {
+		for _, m := range s.Room.Mirrors() {
+			img := m.Reflect(p)
+			amp := s.amplitudeAt(rcs, img) * m.Reflectivity
+			if amp < 1e-6 {
+				continue
+			}
+			out = append(out, s.Radar.ReturnFrom(img, amp, 0, extraPhase))
+		}
+	}
+	return out
+}
+
+// ReturnsAt assembles every reflection in the scene at time t.
+func (s *Scene) ReturnsAt(t float64) []fmcw.Return {
+	var out []fmcw.Return
+	for _, h := range s.Humans {
+		p := h.PositionAt(t)
+		// Breathing shifts the reflecting surface radially: extra round-trip
+		// path 2·δ(t), visible as carrier phase 4π·δ/λ.
+		delta := h.Breathing.Displacement(t)
+		extraPhase := 4 * 3.141592653589793 * delta / s.Params.Wavelength()
+		out = s.movingReturn(p, h.RCS, extraPhase, out)
+	}
+	for _, f := range s.Fans {
+		out = s.movingReturn(f.PositionAt(t), f.Amplitude, 0, out)
+	}
+	for _, c := range s.Clutter {
+		out = append(out, s.Radar.ReturnFrom(c.Pos, c.Amplitude, 0, 0))
+	}
+	for _, src := range s.Sources {
+		out = append(out, src.ReturnsAt(t, s.Radar)...)
+	}
+	return out
+}
+
+// FrameAt synthesizes the radar frame captured at time t, adding the room's
+// diffuse-multipath speckle (random weak companion reflections near every
+// return) when rng is non-nil.
+func (s *Scene) FrameAt(t float64, rng *rand.Rand) *fmcw.Frame {
+	returns := s.ReturnsAt(t)
+	if rng != nil && s.Room.Speckle > 0 {
+		returns = append(returns, s.speckle(returns, rng)...)
+	}
+	return fmcw.Synthesize(s.Params, returns, t, rng)
+}
+
+// speckle generates one weak companion per return: a diffuse bounce arriving
+// slightly later and from a slightly different direction, with random phase.
+// Rich-scattering rooms (office) perturb peak locations this way; it affects
+// humans and RF-Protect ghosts identically, which is why §11.1 sees larger
+// errors for both in the office.
+func (s *Scene) speckle(returns []fmcw.Return, rng *rand.Rand) []fmcw.Return {
+	lvl := s.Room.Speckle
+	out := make([]fmcw.Return, 0, len(returns))
+	binDelay := 2 * s.Params.RangeResolution() / fmcw.C
+	for _, r := range returns {
+		if r.Amplitude < 1e-4 {
+			continue
+		}
+		c := r
+		c.Amplitude = r.Amplitude * lvl * (0.5 + 0.5*rng.Float64())
+		c.Delay += (rng.Float64() - 0.5) * 2 * binDelay
+		// Angular spread grows with scattering richness.
+		c.AoA += rng.NormFloat64() * 0.12 * lvl
+		c.Phase += rng.Float64() * 2 * 3.141592653589793
+		out = append(out, c)
+	}
+	return out
+}
+
+// CaptureBurst synthesizes a chirp burst for Doppler processing: nChirps
+// consecutive chirps spaced pri seconds apart starting at t0.
+func (s *Scene) CaptureBurst(t0 float64, nChirps int, pri float64, rng *rand.Rand) []*fmcw.Frame {
+	out := make([]*fmcw.Frame, nChirps)
+	for k := range out {
+		out[k] = s.FrameAt(t0+float64(k)*pri, rng)
+	}
+	return out
+}
+
+// Capture synthesizes n consecutive frames starting at t0 at the params'
+// frame rate.
+func (s *Scene) Capture(t0 float64, n int, rng *rand.Rand) []*fmcw.Frame {
+	out := make([]*fmcw.Frame, n)
+	dt := 1 / s.Params.FrameRate
+	for i := range out {
+		out[i] = s.FrameAt(t0+float64(i)*dt, rng)
+	}
+	return out
+}
