@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build vet test race short bench bench-json ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+# The concurrency in internal/parallel, internal/fmcw, internal/dsp,
+# internal/radar and internal/experiments must stay race-clean; run this
+# before every change that touches a worker pool.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench=Pipeline -benchmem -run='^$$' .
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/fmcw ./internal/dsp
+
+# Refresh the tracked performance snapshot.
+bench-json:
+	$(GO) run ./cmd/bench -out BENCH_pipeline.json
+
+ci: vet build race

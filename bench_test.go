@@ -11,10 +11,15 @@
 package main
 
 import (
+	"fmt"
 	"io"
+	"math/rand"
+	"runtime"
 	"testing"
 
+	"rfprotect/internal/dsp"
 	"rfprotect/internal/experiments"
+	"rfprotect/internal/fmcw"
 )
 
 // benchSizes keeps bench iterations tractable while exercising the full
@@ -154,6 +159,69 @@ func BenchmarkRunAll(b *testing.B) {
 		if err := experiments.Run("all", sz, 1, io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// pipelineReturns builds the mixed 64-return workload cmd/bench uses, so
+// `go test -bench` and the JSON snapshot measure the same thing.
+func pipelineReturns() []fmcw.Return {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]fmcw.Return, 64)
+	for i := range out {
+		out[i] = fmcw.Return{
+			Delay:     2 * (1 + 10*rng.Float64()) / fmcw.C,
+			Amplitude: 0.05 + rng.Float64(),
+			AoA:       rng.Float64() * 3.1,
+			FreqShift: float64(i%3) * 20e3,
+			Phase:     rng.Float64(),
+		}
+	}
+	return out
+}
+
+// BenchmarkPipelineFrameSynthesis measures beat-signal synthesis — the
+// inner loop of every experiment — sequentially and with the full worker
+// pool. Outputs are bit-identical; only cost differs.
+func BenchmarkPipelineFrameSynthesis(b *testing.B) {
+	params := fmcw.DefaultParams()
+	returns := pipelineReturns()
+	rng := rand.New(rand.NewSource(1))
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fmcw.SynthesizeWorkers(params, returns, 0, rng, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineRangeFFT measures the cached-plan 512-point range FFT
+// and the 64-row batch shape of a Doppler burst.
+func BenchmarkPipelineRangeFFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	row := make([]complex128, 512)
+	for i := range row {
+		row[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.Run("single-512", func(b *testing.B) {
+		buf := make([]complex128, len(row))
+		for i := 0; i < b.N; i++ {
+			copy(buf, row)
+			dsp.FFTInPlace(buf)
+		}
+	})
+	batch := make([][]complex128, 64)
+	for k := range batch {
+		r := make([]complex128, 512)
+		copy(r, row)
+		batch[k] = r
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("batch-64x512-workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dsp.FFTEach(batch, workers)
+			}
+		})
 	}
 }
 

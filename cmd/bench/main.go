@@ -1,0 +1,186 @@
+// Command bench measures the simulation stack's hot paths — frame
+// synthesis, FFTs, and one end-to-end experiment — and writes a JSON
+// snapshot so the performance trajectory can be tracked across PRs.
+//
+// Usage:
+//
+//	bench                      # full measurement, writes BENCH_pipeline.json
+//	bench -out out.json        # alternate output path
+//	bench -quick               # shorter runs for smoke-testing the harness
+//
+// Sequential numbers pin the worker pools to one worker; parallel numbers
+// use one worker per available CPU. Both paths produce bit-identical
+// frames (see internal/fmcw), so the speedup column is a pure cost
+// comparison. On a single-CPU machine the speedups sit near 1×; the
+// snapshot records cpus/gomaxprocs so readers can interpret the numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/experiments"
+	"rfprotect/internal/fmcw"
+)
+
+// Result is one measured configuration.
+type Result struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Snapshot is the BENCH_pipeline.json schema.
+type Snapshot struct {
+	Schema     int                `json:"schema"`
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	CPUs       int                `json:"cpus"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Quick      bool               `json:"quick,omitempty"`
+	Results    []Result           `json:"results"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+// measure runs fn repeatedly for at least minDur (after one warm-up call)
+// and returns the mean ns/op and iteration count.
+func measure(minDur time.Duration, fn func()) (float64, int) {
+	fn() // warm caches and FFT plans so the steady state is measured
+	var iters int
+	start := time.Now()
+	for {
+		fn()
+		iters++
+		if elapsed := time.Since(start); elapsed >= minDur && iters >= 3 {
+			return float64(elapsed.Nanoseconds()) / float64(iters), iters
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pipeline.json", "output path (- for stdout)")
+	quick := flag.Bool("quick", false, "shorter measurement windows")
+	seed := flag.Int64("seed", 1, "random seed for synthetic workloads")
+	flag.Parse()
+
+	minDur := 2 * time.Second
+	if *quick {
+		minDur = 200 * time.Millisecond
+	}
+
+	snap := Snapshot{
+		Schema:     1,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Speedups:   map[string]float64{},
+	}
+	add := func(name string, workers int, ns float64, iters int) {
+		snap.Results = append(snap.Results, Result{Name: name, Workers: workers, Iters: iters, NsPerOp: ns})
+		fmt.Fprintf(os.Stderr, "%-36s workers=%-3d %12.0f ns/op  (%d iters)\n", name, workers, ns, iters)
+	}
+
+	// Frame synthesis: the per-frame beat-signal accumulation that
+	// dominates every experiment. 64 returns ≈ a cluttered multipath room.
+	params := fmcw.DefaultParams()
+	returns := synthReturns(64, *seed)
+	rng := rand.New(rand.NewSource(*seed))
+	seqNs, seqIt := measure(minDur, func() { fmcw.SynthesizeWorkers(params, returns, 0, rng, 1) })
+	add("frame_synthesis", 1, seqNs, seqIt)
+	parNs, parIt := measure(minDur, func() { fmcw.SynthesizeWorkers(params, returns, 0, rng, 0) })
+	add("frame_synthesis", runtime.GOMAXPROCS(0), parNs, parIt)
+	snap.Speedups["frame_synthesis"] = seqNs / parNs
+
+	// Single 512-point range FFT, cached plan (steady state of the radar
+	// pipeline).
+	x := synthSignal(512, *seed)
+	buf := make([]complex128, len(x))
+	fftNs, fftIt := measure(minDur, func() {
+		copy(buf, x)
+		dsp.FFTInPlace(buf)
+	})
+	add("fft_512_cached_plan", 1, fftNs, fftIt)
+
+	// Plan construction cost, for the record: transform a size the process
+	// has never seen, forcing a cold plan build, vs the warm transform.
+	// (Each iteration uses a fresh odd size, so every call builds a plan.)
+	coldSize := 1031
+	coldNs, coldIt := measure(minDur/4, func() {
+		dsp.FFTInPlace(synthSignal(coldSize, *seed))
+		coldSize += 2
+	})
+	add("fft_cold_plan_build_~1k", 1, coldNs, coldIt)
+
+	// Batch FFT: 64 rows of 512, the shape of a multi-frame Doppler burst.
+	batch := make([][]complex128, 64)
+	for i := range batch {
+		batch[i] = synthSignal(512, *seed+int64(i))
+	}
+	bseqNs, bseqIt := measure(minDur, func() { dsp.FFTEach(batch, 1) })
+	add("batch_fft_64x512", 1, bseqNs, bseqIt)
+	bparNs, bparIt := measure(minDur, func() { dsp.FFTEach(batch, 0) })
+	add("batch_fft_64x512", runtime.GOMAXPROCS(0), bparNs, bparIt)
+	snap.Speedups["batch_fft"] = bseqNs / bparNs
+
+	// End-to-end experiment: Fig. 9 radar localization (no GAN training),
+	// covering synthesis, range-angle profiles, peaks, and tracking.
+	e2eNs, e2eIt := measure(minDur, func() {
+		if _, err := experiments.Fig9(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: fig9:", err)
+			os.Exit(1)
+		}
+	})
+	add("experiment_fig9_end_to_end", runtime.GOMAXPROCS(0), e2eNs, e2eIt)
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// synthReturns mirrors the mixed workload the fmcw benchmarks use.
+func synthReturns(n int, seed int64) []fmcw.Return {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]fmcw.Return, n)
+	for i := range out {
+		out[i] = fmcw.Return{
+			Delay:     2 * (1 + 10*rng.Float64()) / fmcw.C,
+			Amplitude: 0.05 + rng.Float64(),
+			AoA:       rng.Float64() * 3.1,
+			FreqShift: float64(i%3) * 20e3,
+			Phase:     rng.Float64(),
+		}
+	}
+	return out
+}
+
+func synthSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}

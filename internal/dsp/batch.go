@@ -1,0 +1,47 @@
+package dsp
+
+import "rfprotect/internal/parallel"
+
+// ParallelMap applies transform to every row of batch across a worker pool
+// (workers <= 0 means one per available CPU). Rows are independent: each
+// worker touches only its own row, so the result is identical for any
+// worker count, and with one worker the batch runs inline. It is the
+// batch-processing primitive behind FFTEach/IFFTEach and is exported for
+// callers with their own per-row kernels (windowing, beamforming rows,
+// per-antenna pipelines).
+func ParallelMap(batch [][]complex128, workers int, transform func([]complex128)) {
+	parallel.ForEach(len(batch), workers, func(i int) { transform(batch[i]) })
+}
+
+// FFTEach transforms every row of batch in place, concurrently. Rows may
+// have different lengths; each length's plan is built once and shared.
+func FFTEach(batch [][]complex128, workers int) {
+	warmPlans(batch)
+	ParallelMap(batch, workers, FFTInPlace)
+}
+
+// IFFTEach inverse-transforms every row of batch in place, concurrently,
+// with 1/N normalization per row.
+func IFFTEach(batch [][]complex128, workers int) {
+	warmPlans(batch)
+	ParallelMap(batch, workers, IFFTInPlace)
+}
+
+// warmPlans builds the FFT plan for every distinct row length up front so
+// concurrent workers hit the cache instead of racing to build duplicate
+// plans (safe either way, but wasted work).
+func warmPlans(batch [][]complex128) {
+	seen := map[int]bool{}
+	for _, row := range batch {
+		n := len(row)
+		if n <= 1 || seen[n] {
+			continue
+		}
+		seen[n] = true
+		if IsPowerOfTwo(n) {
+			planFor(n)
+		} else {
+			bluesteinPlanFor(n)
+		}
+	}
+}

@@ -1,11 +1,3 @@
-// Package dsp provides the signal-processing substrate used throughout the
-// RF-Protect reproduction: FFTs, window functions, peak detection, smoothing,
-// phase utilities, basic statistics, and the small dense-linear-algebra
-// kernels (symmetric eigendecomposition, SPD matrix square root) needed by
-// the FID metric.
-//
-// Everything operates on float64 / complex128 slices and is allocation-
-// conscious: hot paths accept destination buffers where it matters.
 package dsp
 
 import (
@@ -76,72 +68,58 @@ func fftInPlace(x []complex128, inverse bool) {
 	}
 }
 
-// radix2 is an iterative decimation-in-time FFT for power-of-two lengths.
-// When inverse is true the twiddle sign is flipped; normalization is left to
-// the caller.
+// radix2 is an iterative decimation-in-time FFT for power-of-two lengths,
+// driven by the cached per-size plan (bit-reversal table plus twiddle
+// tables). When inverse is true the conjugate twiddle table is used;
+// normalization is left to the caller.
 func radix2(x []complex128, inverse bool) {
 	n := len(x)
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
+	p := planFor(n)
+	for i, j := range p.rev {
 		if j > i {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	sign := -1.0
+	stages := p.fwd
 	if inverse {
-		sign = 1.0
+		stages = p.inv
 	}
+	s := 0
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := cmplx.Exp(complex(0, step))
+		tw := stages[s]
+		s++
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
 			for k := 0; k < half; k++ {
 				a := x[start+k]
-				b := x[start+k+half] * w
+				b := x[start+k+half] * tw[k]
 				x[start+k] = a + b
 				x[start+k+half] = a - b
-				w *= wBase
 			}
 		}
 	}
 }
 
 // bluestein computes an arbitrary-length DFT as a convolution, using two
-// power-of-two FFTs.
+// power-of-two FFTs. The chirp and the convolution kernel's FFT come from
+// the cached per-size plan; only the data-dependent transforms run here.
 func bluestein(x []complex128, inverse bool) {
 	n := len(x)
-	sign := -1.0
+	p := bluesteinPlanFor(n)
+	w, bfft := p.wFwd, p.bFwd
 	if inverse {
-		sign = 1.0
+		w, bfft = p.wInv, p.bInv
 	}
-	// Chirp: w[k] = exp(sign * i*pi*k^2/n)
-	w := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k^2 mod 2n avoids precision loss for large k.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
-	}
-	m := NextPowerOfTwo(2*n - 1)
-	a := make([]complex128, m)
-	b := make([]complex128, m)
+	a := make([]complex128, p.m)
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * w[k]
-		b[k] = cmplx.Conj(w[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(w[k])
 	}
 	radix2(a, false)
-	radix2(b, false)
 	for i := range a {
-		a[i] *= b[i]
+		a[i] *= bfft[i]
 	}
 	radix2(a, true)
-	scale := complex(1/float64(m), 0)
+	scale := complex(1/float64(p.m), 0)
 	for k := 0; k < n; k++ {
 		x[k] = a[k] * scale * w[k]
 	}

@@ -10,6 +10,7 @@ import (
 	"rfprotect/internal/geom"
 	"rfprotect/internal/metrics"
 	"rfprotect/internal/motion"
+	"rfprotect/internal/parallel"
 	"rfprotect/internal/scene"
 )
 
@@ -49,23 +50,45 @@ func Fig11(sz Sizes, seed int64) (Fig11Result, error) {
 		gens[i] = tr.G.Generate(1, i%motion.NumClasses, genRng)[0]
 	}
 	for _, room := range []scene.Room{scene.HomeRoom(), scene.OfficeRoom()} {
-		rng := rand.New(rand.NewSource(seed + 200))
-		envRes := Fig11Env{Room: room.Name}
+		room := room
+		// Trials are independent: each gets its own RNG stream split from
+		// (seed+200, i) — the same stream in both rooms, preserving the
+		// paired design — and writes only its own slot. Slots are merged in
+		// trial order after the pool drains, so medians, CDFs, and printed
+		// output are identical for every worker count.
+		trials := make([]metrics.SpoofErrors, sz.TrajPerRoom)
+		measured := make([]bool, sz.TrajPerRoom)
+		g := parallel.NewGroup(0)
 		for i := 0; i < sz.TrajPerRoom; i++ {
-			env, err := NewEnv(room, params)
-			if err != nil {
-				return res, err
-			}
-			world := FitGhostTrajectory(gens[i], env, room, rng)
-			m, err := env.MeasureGhost(world, motion.SampleRate, rng)
-			if err != nil {
-				return res, err
-			}
-			if len(m.Measured) < 5 {
+			i := i
+			g.Go(func() error {
+				rng := rand.New(rand.NewSource(parallel.SplitSeed(seed+200, i)))
+				env, err := NewEnv(room, params)
+				if err != nil {
+					return err
+				}
+				world := FitGhostTrajectory(gens[i], env, room, rng)
+				m, err := env.MeasureGhost(world, motion.SampleRate, rng)
+				if err != nil {
+					return err
+				}
+				if len(m.Measured) < 5 {
+					return nil
+				}
+				trials[i] = metrics.EvaluateSpoof(m.Measured, m.Requested, env.Scene.Radar)
+				measured[i] = true
+				return nil
+			})
+		}
+		if err := g.Wait(); err != nil {
+			return res, err
+		}
+		envRes := Fig11Env{Room: room.Name}
+		for i := range trials {
+			if !measured[i] {
 				continue
 			}
-			e := metrics.EvaluateSpoof(m.Measured, m.Requested, env.Scene.Radar)
-			envRes.Errors.Merge(e)
+			envRes.Errors.Merge(trials[i])
 			envRes.Trajectories++
 		}
 		envRes.MedianDistance, envRes.MedianAngle, envRes.MedianLocation = envRes.Errors.Medians()

@@ -9,6 +9,7 @@ import (
 	"rfprotect/internal/dsp"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
+	"rfprotect/internal/parallel"
 	"rfprotect/internal/radar"
 	"rfprotect/internal/scene"
 )
@@ -40,41 +41,54 @@ func Fig9(seed int64) (Fig9Result, error) {
 		{"L-shape", lShape()},
 		{"zigzag", zigzag()},
 	}
+	// The shapes are independent trials with their own seeds, so they run
+	// concurrently; each writes its own slot and the slots are appended in
+	// shape order afterwards, keeping the report ordering stable.
+	results := make([]Fig9Shape, len(shapes))
+	g := parallel.NewGroup(0)
 	for i, sh := range shapes {
-		sc := scene.NewScene(scene.OfficeRoom(), params)
-		human := scene.NewHuman(sh.traj, params.FrameRate)
-		sc.Humans = []*scene.Human{human}
-		rng := rand.New(rand.NewSource(seed + int64(i)))
-		frames := sc.Capture(0, len(sh.traj), rng)
-		pr := radar.NewProcessor(radar.DefaultConfig())
-		detSeq := pr.ProcessFrames(frames, sc.Radar)
-		// Per-frame evaluation against the subject's true position at each
-		// capture instant (the red ground-truth dots of Fig. 9).
-		var detected geom.Trajectory
-		var errs []float64
-		for fi, dets := range detSeq {
-			truth := human.PositionAt(frames[fi+1].Time)
-			best, bestD := -1, 1.0
-			for di, d := range dets {
-				if e := d.Pos.Dist(truth); e < bestD {
-					best, bestD = di, e
+		i, sh := i, sh
+		g.Go(func() error {
+			sc := scene.NewScene(scene.OfficeRoom(), params)
+			human := scene.NewHuman(sh.traj, params.FrameRate)
+			sc.Humans = []*scene.Human{human}
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			frames := sc.Capture(0, len(sh.traj), rng)
+			pr := radar.NewProcessor(radar.DefaultConfig())
+			detSeq := pr.ProcessFrames(frames, sc.Radar)
+			// Per-frame evaluation against the subject's true position at each
+			// capture instant (the red ground-truth dots of Fig. 9).
+			var detected geom.Trajectory
+			var errs []float64
+			for fi, dets := range detSeq {
+				truth := human.PositionAt(frames[fi+1].Time)
+				best, bestD := -1, 1.0
+				for di, d := range dets {
+					if e := d.Pos.Dist(truth); e < bestD {
+						best, bestD = di, e
+					}
+				}
+				if best >= 0 {
+					detected = append(detected, dets[best].Pos)
+					errs = append(errs, bestD)
 				}
 			}
-			if best >= 0 {
-				detected = append(detected, dets[best].Pos)
-				errs = append(errs, bestD)
+			if len(detected) == 0 {
+				return fmt.Errorf("fig9: no detections recovered for %s", sh.name)
 			}
-		}
-		if len(detected) == 0 {
-			return res, fmt.Errorf("fig9: no detections recovered for %s", sh.name)
-		}
-		res.Shapes = append(res.Shapes, Fig9Shape{
-			Name:        sh.name,
-			GroundTruth: sh.traj,
-			Detected:    detected,
-			MedianError: dsp.Median(errs),
+			results[i] = Fig9Shape{
+				Name:        sh.name,
+				GroundTruth: sh.traj,
+				Detected:    detected,
+				MedianError: dsp.Median(errs),
+			}
+			return nil
 		})
 	}
+	if err := g.Wait(); err != nil {
+		return res, err
+	}
+	res.Shapes = results
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
+	"rfprotect/internal/parallel"
 	"rfprotect/internal/radar"
 	"rfprotect/internal/reflector"
 	"rfprotect/internal/scene"
@@ -72,13 +73,25 @@ func MultiRadar(seed int64) (MultiRadarResult, error) {
 	scA.Sources = []scene.ReturnSource{tag}
 	scB.Sources = []scene.ReturnSource{tag}
 
-	rngA := rand.New(rand.NewSource(seed))
-	rngB := rand.New(rand.NewSource(seed + 1))
-	framesA := scA.Capture(0, n, rngA)
-	framesB := scB.Capture(0, n, rngB)
-	pr := radar.NewProcessor(radar.DefaultConfig())
-	detsA := pr.ProcessFrames(framesA, scA.Radar)
-	detsB := pr.ProcessFrames(framesB, scB.Radar)
+	// The two radars' capture-and-process chains are independent (separate
+	// scenes, separate seeded rngs, separate processors — the Processor's
+	// steering cache is mutable), so they run as parallel tasks.
+	var framesA []*fmcw.Frame
+	var detsA, detsB [][]radar.Detection
+	g := parallel.NewGroup(0)
+	g.Go(func() error {
+		framesA = scA.Capture(0, n, rand.New(rand.NewSource(seed)))
+		detsA = radar.NewProcessor(radar.DefaultConfig()).ProcessFrames(framesA, scA.Radar)
+		return nil
+	})
+	g.Go(func() error {
+		framesB := scB.Capture(0, n, rand.New(rand.NewSource(seed+1)))
+		detsB = radar.NewProcessor(radar.DefaultConfig()).ProcessFrames(framesB, scB.Radar)
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return res, err
+	}
 
 	// Cross-radar consistency per frame: nearest detection to each entity's
 	// apparent position at each radar, then the disagreement between the

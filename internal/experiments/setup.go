@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"math/rand"
+	"sync"
 
 	"rfprotect/internal/dsp"
 	"rfprotect/internal/fmcw"
@@ -72,7 +73,12 @@ func (e *Env) GhostAnchor(rng *rand.Rand, extent float64) geom.Point {
 }
 
 // sharedTrainer caches one trained cGAN per (sizes, seed) so the many
-// experiments that need generated trajectories don't retrain.
+// experiments that need generated trajectories don't retrain. sharedMu
+// serializes the cache because the Run("all") sweep calls TrainedGAN from
+// concurrent experiments; the first caller trains while the rest block,
+// and training is seeded, so the winner is the same trainer a sequential
+// sweep would have built.
+var sharedMu sync.Mutex
 var sharedTrainer *gan.Trainer
 var sharedKey struct {
 	steps, corpus int
@@ -80,8 +86,12 @@ var sharedKey struct {
 }
 
 // TrainedGAN returns a cGAN trained on a fresh synthetic corpus, caching the
-// result across experiments in the same process.
+// result across experiments in the same process. It is safe for concurrent
+// use; the returned trainer's mutating methods (further Train calls,
+// Sample) are not, so callers sharing one trainer must serialize those.
 func TrainedGAN(sz Sizes, seed int64) *gan.Trainer {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
 	if sharedTrainer != nil && sharedKey.steps == sz.GANSteps && sharedKey.corpus == sz.CorpusSize && sharedKey.seed == seed {
 		return sharedTrainer
 	}

@@ -3,6 +3,8 @@ package fmcw
 import (
 	"math"
 	"math/rand"
+
+	"rfprotect/internal/parallel"
 )
 
 // Return is one reflection arriving at the radar during a chirp. The channel
@@ -36,7 +38,9 @@ func NewFrame(p Params, at float64) *Frame {
 }
 
 // Synthesize produces the beat-domain frame for a set of returns at capture
-// time at, adding AWGN from rng (rng may be nil for a noiseless frame).
+// time at, adding AWGN from rng (rng may be nil for a noiseless frame). It
+// runs with one worker per available CPU; see SynthesizeWorkers for the
+// pool-size contract and the reproducibility guarantee.
 //
 // For a return with delay τ, extra beat offset f_x and extra phase φ, the
 // contribution to antenna k at IF sample time t is
@@ -45,23 +49,54 @@ func NewFrame(p Params, at float64) *Frame {
 //
 // matching Eq. 1–2 of the paper.
 func Synthesize(p Params, returns []Return, at float64, rng *rand.Rand) *Frame {
+	return SynthesizeWorkers(p, returns, at, rng, 0)
+}
+
+// SynthesizeWorkers is Synthesize with an explicit worker-pool size
+// (workers <= 0 means one per available CPU). Antennas are synthesized
+// concurrently, each worker writing only its own antenna's row.
+//
+// Output is bit-identical for every worker count: per-antenna accumulation
+// visits returns in slice order regardless of scheduling, and noise is not
+// drawn from the shared rng inside the pool — a single base seed is drawn
+// from rng up front and split into one deterministic stream per antenna
+// (parallel.SplitSeed), so antenna k's noise depends only on (base, k).
+func SynthesizeWorkers(p Params, returns []Return, at float64, rng *rand.Rand, workers int) *Frame {
 	f := NewFrame(p, at)
-	f.AddReturns(returns)
-	if rng != nil && p.NoiseStd > 0 {
-		f.AddNoise(rng)
+	noisy := rng != nil && p.NoiseStd > 0
+	var base int64
+	if noisy {
+		base = rng.Int63()
 	}
+	parallel.ForEach(p.NumAntennas, workers, func(k int) {
+		f.addReturnsAntenna(k, returns)
+		if noisy {
+			f.addNoiseRow(k, rand.New(rand.NewSource(parallel.SplitSeed(base, k))))
+		}
+	})
 	return f
 }
 
 // AddReturns accumulates the beat contributions of the given returns into
-// the frame.
+// the frame, one antenna at a time.
 func (f *Frame) AddReturns(returns []Return) {
+	for k := 0; k < f.Params.NumAntennas; k++ {
+		f.addReturnsAntenna(k, returns)
+	}
+}
+
+// addReturnsAntenna accumulates every return into antenna k's row. It is
+// the per-worker unit of SynthesizeWorkers and touches no state outside
+// Data[k]; returns are added in slice order so the floating-point
+// accumulation order per sample is fixed.
+func (f *Frame) addReturnsAntenna(k int, returns []Return) {
 	p := f.Params
 	n := p.SamplesPerChirp()
 	sl := p.Slope()
 	lambda := p.Wavelength()
 	d := p.Spacing()
 	dt := 1 / p.SampleRate
+	row := f.Data[k]
 	for _, r := range returns {
 		if r.Amplitude == 0 {
 			continue
@@ -75,31 +110,35 @@ func (f *Frame) AddReturns(returns []Return) {
 		// Per-sample rotation for this return.
 		step := 2 * math.Pi * beat * dt
 		stepC := complex(math.Cos(step), math.Sin(step))
-		for k := 0; k < p.NumAntennas; k++ {
-			steer := -2 * math.Pi * float64(k) * d * math.Cos(r.AoA) / lambda
-			ph0 := carrier + steer
-			cur := complex(r.Amplitude*math.Cos(ph0), r.Amplitude*math.Sin(ph0))
-			row := f.Data[k]
-			for i := 0; i < n; i++ {
-				row[i] += cur
-				cur *= stepC
-			}
+		steer := -2 * math.Pi * float64(k) * d * math.Cos(r.AoA) / lambda
+		ph0 := carrier + steer
+		cur := complex(r.Amplitude*math.Cos(ph0), r.Amplitude*math.Sin(ph0))
+		for i := 0; i < n; i++ {
+			row[i] += cur
+			cur *= stepC
 		}
 	}
 }
 
 // AddNoise adds circular complex Gaussian noise of standard deviation
-// Params.NoiseStd per I/Q component.
+// Params.NoiseStd per I/Q component, consuming rng sequentially across the
+// whole frame. SynthesizeWorkers uses per-antenna split streams instead so
+// its output does not depend on the worker schedule.
 func (f *Frame) AddNoise(rng *rand.Rand) {
-	std := f.Params.NoiseStd
-	if std <= 0 {
+	if f.Params.NoiseStd <= 0 {
 		return
 	}
 	for k := range f.Data {
-		row := f.Data[k]
-		for i := range row {
-			row[i] += complex(rng.NormFloat64()*std, rng.NormFloat64()*std)
-		}
+		f.addNoiseRow(k, rng)
+	}
+}
+
+// addNoiseRow adds noise to antenna k's row only, from the given stream.
+func (f *Frame) addNoiseRow(k int, rng *rand.Rand) {
+	std := f.Params.NoiseStd
+	row := f.Data[k]
+	for i := range row {
+		row[i] += complex(rng.NormFloat64()*std, rng.NormFloat64()*std)
 	}
 }
 

@@ -1,0 +1,128 @@
+// Package parallel provides the small concurrency substrate shared by the
+// simulation stack: a bounded worker pool for index-addressed fan-out
+// (ForEach), an errgroup-style Group for heterogeneous tasks, and a
+// deterministic seed-splitting mix (SplitSeed) so parallel code can hand
+// every independent unit of work its own RNG stream.
+//
+// Everything here is designed around one invariant: results must be
+// bit-identical regardless of the worker count. The helpers guarantee that
+// by construction — workers only ever write to disjoint, index-addressed
+// destinations, and randomness is never drawn from a shared stream inside a
+// pool; it is split up front with SplitSeed. DESIGN.md ("Concurrency
+// model") documents the scheme.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "one per
+// available CPU" (runtime.GOMAXPROCS(0), which defaults to
+// runtime.NumCPU()).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach calls fn(i) for every i in [0, n) across a pool of the given size
+// (<= 0 means Workers(0)). Iterations are claimed dynamically, so uneven
+// per-index cost still load-balances. With one worker — or n <= 1 — it runs
+// inline with no goroutines at all, so the sequential path has zero
+// scheduling overhead.
+//
+// fn must only write to destinations owned by index i (its row, its slot):
+// under that contract the result is bit-identical for every worker count.
+// ForEach returns only after every call has completed.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Group runs heterogeneous tasks with bounded concurrency and first-error
+// capture, in the style of golang.org/x/sync/errgroup (reimplemented here
+// to keep the module dependency-free). The zero value is not usable; call
+// NewGroup.
+type Group struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+// NewGroup returns a Group running at most the given number of tasks at
+// once (<= 0 means Workers(0)).
+func NewGroup(workers int) *Group {
+	return &Group{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Go schedules fn on the group, blocking while the pool is full. The first
+// non-nil error wins; later tasks still run to completion (callers write
+// results to disjoint slots and decide what to keep after Wait).
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	g.sem <- struct{}{}
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.sem }()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task has finished and returns the first
+// error any of them reported.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// SplitSeed deterministically derives the seed for an independent RNG
+// stream from a base seed and a stream index, using a SplitMix64-style
+// finalizer so adjacent stream indices land far apart in seed space.
+// Handing rand.New(rand.NewSource(SplitSeed(base, i))) to the worker that
+// owns index i makes randomized parallel code reproducible for any worker
+// count and schedule: the stream depends only on (base, i).
+func SplitSeed(base int64, stream int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -16,6 +16,7 @@ import (
 
 	"rfprotect/internal/dsp"
 	"rfprotect/internal/fmcw"
+	"rfprotect/internal/parallel"
 )
 
 // Config tunes the processing pipeline.
@@ -133,16 +134,16 @@ func (pr *Processor) RangeAngle(f *fmcw.Frame) *Profile {
 	nAnt := p.NumAntennas
 	win := pr.cfg.Window.Coefficients(n)
 
-	// Range FFT per antenna.
+	// Windowed range FFT per antenna, transformed as a concurrent batch.
 	spectra := make([][]complex128, nAnt)
 	for k := 0; k < nAnt; k++ {
 		x := make([]complex128, n)
 		for i, v := range f.Data[k] {
 			x[i] = v * complex(win[i], 0)
 		}
-		dsp.FFTInPlace(x)
 		spectra[k] = x
 	}
+	dsp.FFTEach(spectra, 0)
 
 	maxBin := pr.maxRangeBin(p, n)
 	minBin := pr.minRangeBin(p, n)
@@ -155,21 +156,20 @@ func (pr *Processor) RangeAngle(f *fmcw.Frame) *Profile {
 		AngleBins: bins,
 		Power:     make([]float64, maxBin*bins),
 	}
-	h := make([]complex128, nAnt)
-	for r := minBin; r < maxBin; r++ {
-		for k := 0; k < nAnt; k++ {
-			h[k] = spectra[k][r]
-		}
+	// Each range bin's beamforming sweep is independent and writes only its
+	// own row of the profile, so bins fan out across the worker pool.
+	parallel.ForEach(maxBin-minBin, 0, func(i int) {
+		r := minBin + i
 		row := prof.Power[r*bins : (r+1)*bins]
 		for a := 0; a < bins; a++ {
 			var s complex128
 			w := st[a]
 			for k := 0; k < nAnt; k++ {
-				s += h[k] * w[k]
+				s += spectra[k][r] * w[k]
 			}
 			row[a] = real(s)*real(s) + imag(s)*imag(s)
 		}
-	}
+	})
 	return prof
 }
 
