@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: build vet test race short bench bench-json ci
+.PHONY: build vet lint test race short bench bench-json ci
 
 build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# Formatting + static-analysis gate: fails when any file needs gofmt or go
+# vet reports a problem. (Plain stdlib tooling — no external linters.)
+lint:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
 
 test:
@@ -28,4 +35,4 @@ bench:
 bench-json:
 	$(GO) run ./cmd/bench -out BENCH_pipeline.json
 
-ci: vet build race
+ci: lint build race

@@ -11,15 +11,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
 	"testing"
 
+	"rfprotect/internal/core"
 	"rfprotect/internal/dsp"
 	"rfprotect/internal/experiments"
 	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/pipeline"
+	"rfprotect/internal/radar"
+	"rfprotect/internal/scene"
 )
 
 // benchSizes keeps bench iterations tractable while exercising the full
@@ -222,6 +229,73 @@ func BenchmarkPipelineRangeFFT(b *testing.B) {
 				dsp.FFTEach(batch, workers)
 			}
 		})
+	}
+}
+
+// streamingSession builds the capture-and-track workload cmd/bench's
+// streaming section uses: a home with a programmed ghost.
+func streamingSession(b *testing.B) *core.Session {
+	b.Helper()
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cx := sess.Scene.Radar.Position.X
+	ghost := make(geom.Trajectory, 40)
+	for i := range ghost {
+		f := float64(i) / float64(len(ghost)-1)
+		ghost[i] = geom.Point{X: cx + 0.3 + f, Y: 2.7 + 1.5*f}
+	}
+	if _, err := sess.Ctl.ProgramForRadar(ghost, sess.Scene.Radar, sess.Scene.Params.FrameRate, 0); err != nil {
+		b.Fatal(err)
+	}
+	return sess
+}
+
+// BenchmarkStreamingCaptureTrack measures the streaming pipeline end to end
+// — synthesize, background-subtract, profile, detect, track, one frame in
+// flight — against the batch path over the same 32-frame capture. Outputs
+// are bit-identical (see internal/pipeline); only cost and footprint differ.
+func BenchmarkStreamingCaptureTrack(b *testing.B) {
+	const nFrames = 32
+	sess := streamingSession(b)
+	sc := sess.Scene
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := radar.NewProcessor(radar.DefaultConfig())
+			trk := pipeline.NewTrack(radar.TrackerConfig{})
+			stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
+			rng := rand.New(rand.NewSource(1))
+			if _, err := pipeline.New(sc.Stream(0, nFrames, rng), stages...).Run(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := radar.NewProcessor(radar.DefaultConfig())
+			rng := rand.New(rand.NewSource(1))
+			frames := sc.Capture(0, nFrames, rng)
+			radar.TrackDetections(radar.TrackerConfig{}, pr.ProcessFrames(frames, sc.Radar))
+		}
+	})
+}
+
+// BenchmarkStreamingCancellation measures how fast a canceled unbounded
+// capture unwinds — the cost of the pipeline's cooperative-cancellation
+// checks, not of the frames themselves.
+func BenchmarkStreamingCancellation(b *testing.B) {
+	sess := streamingSession(b)
+	sc := sess.Scene
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		pr := radar.NewProcessor(radar.DefaultConfig())
+		rng := rand.New(rand.NewSource(1))
+		p := pipeline.New(sc.Stream(0, -1, rng), pipeline.FrontEndStages(pr, sc.Radar)...)
+		if _, err := p.Run(ctx); !errors.Is(err, context.Canceled) {
+			b.Fatalf("Run = %v, want context.Canceled", err)
+		}
 	}
 }
 

@@ -25,9 +25,14 @@ import (
 	"runtime"
 	"time"
 
+	"rfprotect/internal/core"
 	"rfprotect/internal/dsp"
 	"rfprotect/internal/experiments"
 	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/pipeline"
+	"rfprotect/internal/radar"
+	"rfprotect/internal/scene"
 )
 
 // Result is one measured configuration.
@@ -36,6 +41,16 @@ type Result struct {
 	Workers int     `json:"workers"`
 	Iters   int     `json:"iters"`
 	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// StreamResult is one capture-and-track run, streaming or batch, with its
+// throughput and retained-heap footprint.
+type StreamResult struct {
+	Name          string  `json:"name"`
+	Frames        int     `json:"frames"`
+	NsPerFrame    float64 `json:"ns_per_frame"`
+	FramesPerSec  float64 `json:"frames_per_sec"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
 }
 
 // Snapshot is the BENCH_pipeline.json schema.
@@ -48,6 +63,10 @@ type Snapshot struct {
 	Quick      bool               `json:"quick,omitempty"`
 	Results    []Result           `json:"results"`
 	Speedups   map[string]float64 `json:"speedups"`
+	// Streaming holds the streaming-vs-batch comparison at two capture
+	// lengths: the streaming rows' peak heap stays flat as frames grow,
+	// the batch rows' grows linearly.
+	Streaming []StreamResult `json:"streaming,omitempty"`
 }
 
 // measure runs fn repeatedly for at least minDur (after one warm-up call)
@@ -132,6 +151,33 @@ func main() {
 	add("batch_fft_64x512", runtime.GOMAXPROCS(0), bparNs, bparIt)
 	snap.Speedups["batch_fft"] = bseqNs / bparNs
 
+	// Streaming vs batch: the same eavesdropper capture-and-track workload
+	// run through the bounded-memory pipeline (one frame in flight) and
+	// through the batch path (all frames materialized). Two capture lengths
+	// expose the memory asymptotics: streaming's retained heap stays flat,
+	// batch's grows with the capture.
+	streamLens := []int{64, 256}
+	if *quick {
+		streamLens = []int{12, 36}
+	}
+	addStream := func(name string, frames int, ns float64, peak uint64) {
+		snap.Streaming = append(snap.Streaming, StreamResult{
+			Name:          name,
+			Frames:        frames,
+			NsPerFrame:    ns,
+			FramesPerSec:  1e9 / ns,
+			PeakHeapBytes: peak,
+		})
+		fmt.Fprintf(os.Stderr, "%-36s frames=%-4d %12.0f ns/frame  %8.1f frames/s  peak heap %6.1f MiB\n",
+			name, frames, ns, 1e9/ns, float64(peak)/(1<<20))
+	}
+	for _, n := range streamLens {
+		ns, peak := captureRun(*seed, n, true)
+		addStream("streaming_capture_track", n, ns, peak)
+		ns, peak = captureRun(*seed, n, false)
+		addStream("batch_capture_track", n, ns, peak)
+	}
+
 	// End-to-end experiment: Fig. 9 radar localization (no GAN training),
 	// covering synthesis, range-angle profiles, peaks, and tracking.
 	e2eNs, e2eIt := measure(minDur, func() {
@@ -158,6 +204,64 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+}
+
+// captureRun measures one eavesdropper session — synthesize nFrames of a
+// home with a programmed ghost, range-angle process, track — either through
+// the streaming pipeline or the batch path, and returns ns/frame plus the
+// heap retained at the end of the run (before the results are released).
+// Both paths produce bit-identical tracks; only cost and footprint differ.
+func captureRun(seed int64, nFrames int, streaming bool) (nsPerFrame float64, peakHeap uint64) {
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: session:", err)
+		os.Exit(1)
+	}
+	sc := sess.Scene
+	cx := sc.Radar.Position.X
+	ghost := make(geom.Trajectory, 40)
+	for i := range ghost {
+		f := float64(i) / float64(len(ghost)-1)
+		ghost[i] = geom.Point{X: cx + 0.3 + f, Y: 2.7 + 1.5*f}
+	}
+	if _, err := sess.Ctl.ProgramForRadar(ghost, sc.Radar, sc.Params.FrameRate, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: ghost:", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pr := radar.NewProcessor(radar.DefaultConfig())
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var tracks []*radar.Track
+	var frames []*fmcw.Frame
+	if streaming {
+		trk := pipeline.NewTrack(radar.TrackerConfig{})
+		stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
+		if _, err := pipeline.New(sc.Stream(0, nFrames, rng), stages...).Run(nil); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: pipeline:", err)
+			os.Exit(1)
+		}
+		tracks = trk.Tracks()
+	} else {
+		frames = sc.Capture(0, nFrames, rng)
+		tracks = radar.TrackDetections(radar.TrackerConfig{}, pr.ProcessFrames(frames, sc.Radar))
+	}
+	elapsed := time.Since(start)
+	// Collect transient garbage first so the reading is the heap the run
+	// actually holds on to — the batch path's frames are still referenced
+	// here, the streaming path never kept any.
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	runtime.KeepAlive(frames)
+	runtime.KeepAlive(tracks)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		peakHeap = m1.HeapAlloc - m0.HeapAlloc
+	}
+	return float64(elapsed.Nanoseconds()) / float64(nFrames), peakHeap
 }
 
 // synthReturns mirrors the mixed workload the fmcw benchmarks use.

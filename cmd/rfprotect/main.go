@@ -7,16 +7,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
 	"rfprotect/internal/core"
-	"rfprotect/internal/fmcw"
 	"rfprotect/internal/gan"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/motion"
+	"rfprotect/internal/pipeline"
 	"rfprotect/internal/radar"
 	"rfprotect/internal/scene"
 )
@@ -29,17 +30,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	params := fmcw.DefaultParams()
-	sc := scene.NewScene(scene.HomeRoom(), params)
-	rng := rand.New(rand.NewSource(*seed))
-
-	// RF-Protect tag broadside to the radar, just inside the wall.
-	tagPos := geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2}
-	ganCfg := gan.DefaultConfig()
-	sys, err := core.New(core.Config{TagPosition: tagPos, GAN: &ganCfg, Seed: *seed})
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom()})
 	if err != nil {
 		fatal(err)
 	}
+	sc := sess.Scene
+	params := sc.Params
+	rng := rand.New(rand.NewSource(*seed))
+
+	// RF-Protect system sharing the session's tag (deployed broadside to the
+	// radar, just inside the wall).
+	ganCfg := gan.DefaultConfig()
+	sys := sess.NewSystem(core.Config{GAN: &ganCfg, Seed: *seed})
 	if *model != "" {
 		f, err := os.Open(*model)
 		if err != nil {
@@ -55,7 +57,6 @@ func main() {
 		fmt.Printf("training cGAN for %d steps...\n", *ganSteps)
 		sys.TrainGenerator(nil, *ganSteps)
 	}
-	sc.Sources = append(sc.Sources, sys.Tag())
 
 	// A real occupant ambles through the home.
 	walker := motion.NewGenerator(motion.DefaultConfig(), *seed+10)
@@ -78,14 +79,18 @@ func main() {
 			g+1, class, len(rec.Entries), world.Centroid())
 	}
 
-	// Eavesdropper captures and tracks.
+	// Eavesdropper captures and tracks through the streaming pipeline: one
+	// frame in flight end to end, so memory stays flat for any -duration,
+	// and ctrl-C-style cancellation would stop the capture cleanly.
 	n := int(*duration * params.FrameRate)
 	fmt.Printf("capturing %d frames (%.1f s at %.0f Hz)...\n", n, *duration, params.FrameRate)
-	frames := sc.Capture(0, n, rng)
 	pr := radar.NewProcessor(radar.DefaultConfig())
-	detSeq := pr.ProcessFrames(frames, sc.Radar)
-	tracks := radar.TrackDetections(radar.TrackerConfig{}, detSeq)
-	tracks = radar.FilterHumanTracks(tracks, params.FrameRate)
+	trk := pipeline.NewTrack(radar.TrackerConfig{})
+	stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
+	if _, err := pipeline.New(sc.Stream(0, n, rng), stages...).Run(context.Background()); err != nil {
+		fatal(err)
+	}
+	tracks := radar.FilterHumanTracks(trk.Tracks(), params.FrameRate)
 
 	fmt.Printf("\neavesdropper view: %d human-like tracks\n", len(tracks))
 	for _, t := range tracks {

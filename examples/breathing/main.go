@@ -8,18 +8,21 @@ import (
 	"fmt"
 	"math/rand"
 
-	"rfprotect/internal/fmcw"
+	"rfprotect/internal/core"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/privacy"
 	"rfprotect/internal/radar"
-	"rfprotect/internal/reflector"
 	"rfprotect/internal/scene"
 )
 
 func main() {
-	params := fmcw.DefaultParams()
-	sc := scene.NewScene(scene.HomeRoom(), params)
-	sc.Multipath = false
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
+	if err != nil {
+		panic(err)
+	}
+	sc, ctl := sess.Scene, sess.Ctl
+	params := sc.Params
+	tagCfg := sess.Tag.Config()
 
 	// A real sleeper breathing at 14 breaths/min.
 	sleeper := geom.Point{X: sc.Radar.Position.X - 3, Y: 4.5}
@@ -28,13 +31,6 @@ func main() {
 	sc.Humans = []*scene.Human{h}
 
 	// The tag spoofs two phantom sleepers with different rates.
-	tagCfg := reflector.DefaultConfig(geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2}, 0)
-	tag, err := reflector.New(tagCfg)
-	if err != nil {
-		panic(err)
-	}
-	ctl := reflector.NewController(tag)
-	sc.Sources = []scene.ReturnSource{tag}
 	ghosts := []struct {
 		antenna int
 		extra   float64

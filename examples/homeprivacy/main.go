@@ -10,12 +10,12 @@ import (
 	"fmt"
 	"math/rand"
 
+	"rfprotect/internal/core"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/motion"
 	"rfprotect/internal/privacy"
 	"rfprotect/internal/radar"
-	"rfprotect/internal/reflector"
 	"rfprotect/internal/scene"
 )
 
@@ -32,15 +32,11 @@ func main() {
 	fmt.Println("snapshot  real  ghosts  eavesdropper-count")
 	totalReal, totalSeen := 0, 0
 	for s := 0; s < snapshots; s++ {
-		sc := scene.NewScene(scene.HomeRoom(), params)
-		sc.Multipath = false
-		tagCfg := reflector.DefaultConfig(geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2}, 0)
-		tag, err := reflector.New(tagCfg)
+		sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
 		if err != nil {
 			panic(err)
 		}
-		ctl := reflector.NewController(tag)
-		sc.Sources = []scene.ReturnSource{tag}
+		sc, ctl := sess.Scene, sess.Ctl
 
 		nReal := rng.Intn(3)
 		for h := 0; h < nReal; h++ {

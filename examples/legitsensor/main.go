@@ -10,7 +10,6 @@ import (
 	"math/rand"
 
 	"rfprotect/internal/core"
-	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/radar"
 	"rfprotect/internal/reflector"
@@ -18,17 +17,13 @@ import (
 )
 
 func main() {
-	params := fmcw.DefaultParams()
-	sc := scene.NewScene(scene.HomeRoom(), params)
-	sc.Multipath = false
-
-	tagCfg := reflector.DefaultConfig(geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2}, 0)
-	tag, err := reflector.New(tagCfg)
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
 	if err != nil {
 		panic(err)
 	}
-	ctl := reflector.NewController(tag)
-	sc.Sources = []scene.ReturnSource{tag}
+	sc, ctl := sess.Scene, sess.Ctl
+	params := sc.Params
+	tagCfg := sess.Tag.Config()
 
 	// One real person walking, one ghost injected.
 	n := 100

@@ -5,37 +5,37 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"rfprotect/internal/core"
-	"rfprotect/internal/fmcw"
 	"rfprotect/internal/gan"
 	"rfprotect/internal/geom"
+	"rfprotect/internal/pipeline"
 	"rfprotect/internal/radar"
 	"rfprotect/internal/scene"
 )
 
 func main() {
-	// 1. A home with an eavesdropper radar on the bottom wall.
-	params := fmcw.DefaultParams()
-	sc := scene.NewScene(scene.HomeRoom(), params)
-
-	// 2. An RF-Protect system: tag broadside to the radar + trajectory GAN.
-	ganCfg := gan.DefaultConfig()
-	ganCfg.Hidden = 24 // quickstart-sized generator
-	sys, err := core.New(core.Config{
-		TagPosition: geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2},
-		GAN:         &ganCfg,
-		CorpusSize:  600,
-		Seed:        1,
-	})
+	// 1. A home with an eavesdropper radar on the bottom wall and an
+	//    RF-Protect tag deployed broadside to it.
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom()})
 	if err != nil {
 		panic(err)
 	}
+	sc := sess.Scene
+
+	// 2. An RF-Protect system sharing the session's tag + a trajectory GAN.
+	ganCfg := gan.DefaultConfig()
+	ganCfg.Hidden = 24 // quickstart-sized generator
+	sys := sess.NewSystem(core.Config{
+		GAN:        &ganCfg,
+		CorpusSize: 600,
+		Seed:       1,
+	})
 	fmt.Println("training the trajectory generator (a few seconds)...")
 	sys.TrainGenerator(nil, 80)
-	sc.Sources = append(sc.Sources, sys.Tag())
 
 	// 3. Inject a ghost: a class-2 (medium range of motion) trajectory
 	//    anchored 3 m into the room.
@@ -47,12 +47,19 @@ func main() {
 	fmt.Printf("ghost deployed: %d control ticks, path length %.1f m\n",
 		len(rec.Entries), world.PathLength())
 
-	// 4. The eavesdropper captures 3 seconds and tracks.
+	// 4. The eavesdropper watches 3 seconds through the streaming pipeline:
+	//    each frame is synthesized, processed, and dropped before the next —
+	//    memory stays flat no matter how long it listens, and the tracks are
+	//    bit-identical to a batch Capture + ProcessFrames + TrackDetections.
+	nFrames := int(3 * sc.Params.FrameRate)
 	rng := rand.New(rand.NewSource(42))
-	frames := sc.Capture(0, int(3*params.FrameRate), rng)
 	pr := radar.NewProcessor(radar.DefaultConfig())
-	detections := pr.ProcessFrames(frames, sc.Radar)
-	tracks := radar.TrackDetections(radar.TrackerConfig{}, detections)
+	trk := pipeline.NewTrack(radar.TrackerConfig{})
+	stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
+	if _, err := pipeline.New(sc.Stream(0, nFrames, rng), stages...).Run(context.Background()); err != nil {
+		panic(err)
+	}
+	tracks := trk.Tracks()
 
 	fmt.Printf("eavesdropper sees %d moving target(s) in an EMPTY home:\n", len(tracks))
 	for _, t := range tracks {

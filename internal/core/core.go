@@ -60,6 +60,13 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return newSystem(cfg, tag, reflector.NewController(tag)), nil
+}
+
+// newSystem assembles a System around an already-built tag and controller;
+// it is shared by New (which builds its own tag) and Session.NewSystem
+// (which reuses the session's).
+func newSystem(cfg Config, tag *reflector.Reflector, ctl *reflector.Controller) *System {
 	ganCfg := gan.DefaultConfig()
 	if cfg.GAN != nil {
 		ganCfg = *cfg.GAN
@@ -72,10 +79,10 @@ func New(cfg Config) (*System, error) {
 	return &System{
 		cfg:     cfg,
 		tag:     tag,
-		ctl:     reflector.NewController(tag),
+		ctl:     ctl,
 		trainer: gan.NewTrainer(ganCfg, ds),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
 }
 
 // Tag returns the hardware reflector, which implements scene.ReturnSource.

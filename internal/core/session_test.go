@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/reflector"
+	"rfprotect/internal/scene"
+)
+
+func TestNewSessionDefaults(t *testing.T) {
+	s, err := NewSession(SessionConfig{Room: scene.HomeRoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scene.Params != fmcw.DefaultParams() {
+		t.Fatal("zero Params must default to fmcw.DefaultParams()")
+	}
+	if !s.Scene.Multipath {
+		t.Fatal("multipath must default on")
+	}
+	want := geom.Point{X: s.Scene.Radar.Position.X - 0.5, Y: 1.2}
+	if got := s.Tag.Config().Position; got != want {
+		t.Fatalf("default tag position = %v, want the standard broadside deployment %v", got, want)
+	}
+	if got := DefaultTagPosition(s.Scene.Radar); got != want {
+		t.Fatalf("DefaultTagPosition = %v, want %v", got, want)
+	}
+	if len(s.Scene.Sources) != 1 || s.Scene.Sources[0] != scene.ReturnSource(s.Tag) {
+		t.Fatal("the tag must be wired into the scene's sources")
+	}
+	if s.Ctl == nil {
+		t.Fatal("session must come with a controller")
+	}
+}
+
+func TestNewSessionOverrides(t *testing.T) {
+	pos := geom.Point{X: 1, Y: 2}
+	s, err := NewSession(SessionConfig{
+		Room:        scene.OfficeRoom(),
+		NoMultipath: true,
+		TagPosition: &pos,
+		ConfigureTag: func(c *reflector.Config) {
+			c.SSB = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scene.Multipath {
+		t.Fatal("NoMultipath must disable scene multipath")
+	}
+	cfg := s.Tag.Config()
+	if cfg.Position != pos {
+		t.Fatalf("tag position = %v, want override %v", cfg.Position, pos)
+	}
+	if !cfg.SSB {
+		t.Fatal("ConfigureTag hook must apply before the tag is built")
+	}
+}
+
+func TestNewSessionTagConfigOverride(t *testing.T) {
+	full := reflector.DefaultConfig(geom.Point{X: 3, Y: 1}, 0.5)
+	full.NumAntennas = 4
+	s, err := NewSession(SessionConfig{Room: scene.HomeRoom(), Tag: &full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tag.Config(); got.NumAntennas != 4 || got.Position != full.Position {
+		t.Fatalf("full tag override not applied: %+v", got)
+	}
+}
+
+func TestNewSessionInvalidTag(t *testing.T) {
+	bad := reflector.DefaultConfig(geom.Point{}, 0)
+	bad.NumAntennas = 0
+	if _, err := NewSession(SessionConfig{Room: scene.HomeRoom(), Tag: &bad}); err == nil {
+		t.Fatal("invalid tag config must surface the reflector error")
+	}
+}
+
+func TestSessionNewSystemSharesTag(t *testing.T) {
+	s, err := NewSession(SessionConfig{Room: scene.HomeRoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ganCfg := tinyGAN()
+	sys := s.NewSystem(Config{GAN: &ganCfg, CorpusSize: 50, Seed: 1})
+	if sys.Tag() != s.Tag {
+		t.Fatal("System must reuse the session's tag instance")
+	}
+	if sys.Controller() != s.Ctl {
+		t.Fatal("System must reuse the session's controller")
+	}
+	// A ghost deployed through the System must show up in the shared
+	// controller's disclosure records.
+	if _, err := sys.DeployBreathingGhost(1, 2.0, 0.25, 0.005, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ctl.Records()) != 1 {
+		t.Fatalf("disclosures = %d records, want the System's ghost", len(s.Ctl.Records()))
+	}
+}

@@ -1,6 +1,10 @@
 package dsp
 
-import "rfprotect/internal/parallel"
+import (
+	"context"
+
+	"rfprotect/internal/parallel"
+)
 
 // ParallelMap applies transform to every row of batch across a worker pool
 // (workers <= 0 means one per available CPU). Rows are independent: each
@@ -13,11 +17,26 @@ func ParallelMap(batch [][]complex128, workers int, transform func([]complex128)
 	parallel.ForEach(len(batch), workers, func(i int) { transform(batch[i]) })
 }
 
+// ParallelMapCtx is ParallelMap with cooperative cancellation: rows stop
+// being claimed once ctx is done and the call returns ctx.Err(). Rows
+// already transformed stay transformed — on cancellation the caller must
+// discard the batch. A nil ctx is exactly ParallelMap.
+func ParallelMapCtx(ctx context.Context, batch [][]complex128, workers int, transform func([]complex128)) error {
+	return parallel.ForEachCtx(ctx, len(batch), workers, func(i int) { transform(batch[i]) })
+}
+
 // FFTEach transforms every row of batch in place, concurrently. Rows may
 // have different lengths; each length's plan is built once and shared.
 func FFTEach(batch [][]complex128, workers int) {
 	warmPlans(batch)
 	ParallelMap(batch, workers, FFTInPlace)
+}
+
+// FFTEachCtx is FFTEach with cooperative cancellation (see ParallelMapCtx
+// for the partial-transform caveat). A nil ctx is exactly FFTEach.
+func FFTEachCtx(ctx context.Context, batch [][]complex128, workers int) error {
+	warmPlans(batch)
+	return ParallelMapCtx(ctx, batch, workers, FFTInPlace)
 }
 
 // IFFTEach inverse-transforms every row of batch in place, concurrently,

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"rfprotect/internal/core"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/metrics"
@@ -71,17 +72,19 @@ func Ablation(seed int64) (AblationResult, error) {
 
 	// --- Harmonics: count distinct moving detections from one ghost.
 	for _, ssb := range []bool{false, true} {
-		sc := scene.NewScene(scene.HomeRoom(), params)
-		sc.Multipath = false
-		sc.Room.Speckle = 0
-		cfg := reflector.DefaultConfig(geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2}, 0)
-		cfg.SSB = ssb
-		tag, err := reflector.New(cfg)
+		room := scene.HomeRoom()
+		room.Speckle = 0
+		ssb := ssb
+		sess, err := core.NewSession(core.SessionConfig{
+			Room:         room,
+			Params:       params,
+			NoMultipath:  true,
+			ConfigureTag: func(c *reflector.Config) { c.SSB = ssb },
+		})
 		if err != nil {
 			return res, err
 		}
-		ctl := reflector.NewController(tag)
-		sc.Sources = []scene.ReturnSource{tag}
+		sc, ctl := sess.Scene, sess.Ctl
 		traj := geom.Trajectory{{X: sc.Radar.Position.X, Y: 2.5}, {X: sc.Radar.Position.X + 1, Y: 4}}
 		if _, err := ctl.ProgramForRadar(traj, sc.Radar, 0.5, 0); err != nil {
 			return res, err
@@ -136,17 +139,14 @@ func peakPowerOfHuman(params fmcw.Params, seed int64) (float64, error) {
 }
 
 func peakPowerOfGhost(params fmcw.Params, mode reflector.AmplitudeMode, seed int64) (float64, error) {
-	sc := scene.NewScene(scene.HomeRoom(), params)
-	sc.Multipath = false
-	sc.Room.Speckle = 0
-	cfg := reflector.DefaultConfig(geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2}, 0)
-	tag, err := reflector.New(cfg)
+	room := scene.HomeRoom()
+	room.Speckle = 0
+	sess, err := core.NewSession(core.SessionConfig{Room: room, Params: params, NoMultipath: true})
 	if err != nil {
 		return 0, err
 	}
-	ctl := reflector.NewController(tag)
+	sc, ctl := sess.Scene, sess.Ctl
 	ctl.SetAmplitudeMode(mode)
-	sc.Sources = []scene.ReturnSource{tag}
 	traj := geom.Trajectory{{X: 7, Y: 3.5}, {X: 7.4, Y: 3.9}}
 	if _, err := ctl.ProgramForRadar(traj, sc.Radar, 1, 0); err != nil {
 		return 0, err

@@ -29,16 +29,12 @@ type Fig13Result struct {
 func Fig13(seed int64) (Fig13Result, error) {
 	var res Fig13Result
 	params := fmcw.DefaultParams()
-	sc := scene.NewScene(scene.HomeRoom(), params)
-	sc.Multipath = false
-
-	tagCfg := reflector.DefaultConfig(geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2}, 0)
-	tag, err := reflector.New(tagCfg)
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
 	if err != nil {
 		return res, err
 	}
-	ctl := reflector.NewController(tag)
-	sc.Sources = []scene.ReturnSource{tag}
+	sc, ctl := sess.Scene, sess.Ctl
+	tagCfg := sess.Tag.Config()
 
 	n := 100
 	cx := sc.Radar.Position.X

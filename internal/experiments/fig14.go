@@ -5,10 +5,10 @@ import (
 	"io"
 	"math/rand"
 
+	"rfprotect/internal/core"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/radar"
-	"rfprotect/internal/reflector"
 	"rfprotect/internal/scene"
 )
 
@@ -31,8 +31,12 @@ func Fig14(seed int64) (Fig14Result, error) {
 	const amplitude = 0.005
 	res := Fig14Result{TrueRate: rate}
 	params := fmcw.DefaultParams()
-	sc := scene.NewScene(scene.HomeRoom(), params)
-	sc.Multipath = false
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
+	if err != nil {
+		return res, err
+	}
+	sc, ctl := sess.Scene, sess.Ctl
+	tagCfg := sess.Tag.Config()
 
 	// Real human, static, breathing.
 	humanPos := geom.Point{X: sc.Radar.Position.X - 3, Y: 4}
@@ -41,13 +45,6 @@ func Fig14(seed int64) (Fig14Result, error) {
 	sc.Humans = []*scene.Human{h}
 
 	// Ghost via phase shifter.
-	tagCfg := reflector.DefaultConfig(geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2}, 0)
-	tag, err := reflector.New(tagCfg)
-	if err != nil {
-		return res, err
-	}
-	ctl := reflector.NewController(tag)
-	sc.Sources = []scene.ReturnSource{tag}
 	const ghostExtra = 2.5
 	const ghostAntenna = 4
 	duration := 25.0

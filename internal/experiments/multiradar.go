@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"rfprotect/internal/core"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/parallel"
@@ -33,10 +34,15 @@ func MultiRadar(seed int64) (MultiRadarResult, error) {
 	res.Gate = 1.0
 	params := fmcw.DefaultParams()
 
-	// Radar A: bottom wall (the scene default). Radar B: left wall, facing
-	// +x, array along y.
-	scA := scene.NewScene(scene.HomeRoom(), params)
-	scA.Multipath = false
+	// Radar A: bottom wall (the scene default), with the tag deployed at the
+	// standard position by the session builder. Radar B: left wall, facing
+	// +x, array along y — hand-built, because it shares radar A's tag (the
+	// paper's single-tag scenario) instead of getting its own.
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
+	if err != nil {
+		return res, err
+	}
+	scA := sess.Scene
 	scB := scene.NewScene(scene.HomeRoom(), params)
 	scB.Multipath = false
 	scB.Radar = fmcw.Array{
@@ -59,18 +65,13 @@ func MultiRadar(seed int64) (MultiRadarResult, error) {
 	scA.Humans = []*scene.Human{hum}
 	scB.Humans = []*scene.Human{hum}
 
-	tagCfg := reflector.DefaultConfig(geom.Point{X: cx - 0.5, Y: 1.2}, 0)
-	tag, err := reflector.New(tagCfg)
-	if err != nil {
-		return res, err
-	}
-	ctl := reflector.NewController(tag)
+	tag, ctl := sess.Tag, sess.Ctl
+	tagCfg := tag.Config()
 	// The tag is programmed against radar A (the wall it defends); radar B
 	// is at an unknown position, exactly the paper's single-tag scenario.
 	if _, err := ctl.ProgramForRadar(ghost, scA.Radar, params.FrameRate, 0); err != nil {
 		return res, err
 	}
-	scA.Sources = []scene.ReturnSource{tag}
 	scB.Sources = []scene.ReturnSource{tag}
 
 	// The two radars' capture-and-process chains are independent (separate

@@ -6,10 +6,10 @@ import (
 	"math"
 	"math/rand"
 
+	"rfprotect/internal/core"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/radar"
-	"rfprotect/internal/reflector"
 	"rfprotect/internal/replayspoof"
 	"rfprotect/internal/scene"
 )
@@ -46,15 +46,12 @@ func Probe(seed int64) (ProbeResult, error) {
 	res.SpooferGhostSeen = ghostVisible(scA, sp.SpoofedDistance(scA.Radar), 0.5, rng)
 
 	// --- Scenario B: RF-Protect tag.
-	scB := scene.NewScene(scene.HomeRoom(), params)
-	scB.Multipath = false
-	tagCfg := reflector.DefaultConfig(geom.Point{X: scB.Radar.Position.X - 0.5, Y: 1.2}, 0)
-	tag, err := reflector.New(tagCfg)
+	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
 	if err != nil {
 		return res, err
 	}
-	ctl := reflector.NewController(tag)
-	scB.Sources = []scene.ReturnSource{tag}
+	scB, ctl := sess.Scene, sess.Ctl
+	tagCfg := sess.Tag.Config()
 	const extra = 2.5
 	if _, err := ctl.ProgramBreathing(2, extra, 0.25, 0.005, 10, 0); err != nil {
 		return res, err

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"rfprotect/internal/core"
 	"rfprotect/internal/dsp"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/gan"
@@ -48,17 +49,15 @@ type Env struct {
 	Ctl   *reflector.Controller
 }
 
-// NewEnv builds the standard deployment in the given room.
+// NewEnv builds the standard deployment in the given room. It is a thin
+// wrapper over core.NewSession — the one shared wiring point for the
+// scene→tag→radar stack — kept so experiment code reads in evaluation terms.
 func NewEnv(room scene.Room, params fmcw.Params) (*Env, error) {
-	sc := scene.NewScene(room, params)
-	tagCfg := reflector.DefaultConfig(geom.Point{X: sc.Radar.Position.X - 0.5, Y: 1.2}, 0)
-	tag, err := reflector.New(tagCfg)
+	s, err := core.NewSession(core.SessionConfig{Room: room, Params: params})
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{Scene: sc, Tag: tag, Ctl: reflector.NewController(tag)}
-	sc.Sources = append(sc.Sources, tag)
-	return env, nil
+	return &Env{Scene: s.Scene, Tag: s.Tag, Ctl: s.Ctl}, nil
 }
 
 // GhostAnchor returns a world anchor inside the panel's spoofable fan for a

@@ -1,6 +1,7 @@
 package fmcw
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -62,19 +63,33 @@ func Synthesize(p Params, returns []Return, at float64, rng *rand.Rand) *Frame {
 // from rng up front and split into one deterministic stream per antenna
 // (parallel.SplitSeed), so antenna k's noise depends only on (base, k).
 func SynthesizeWorkers(p Params, returns []Return, at float64, rng *rand.Rand, workers int) *Frame {
+	f, _ := SynthesizeCtx(nil, p, returns, at, rng, workers)
+	return f
+}
+
+// SynthesizeCtx is SynthesizeWorkers with cooperative cancellation: the
+// antenna fan-out stops once ctx is done and the call returns (nil,
+// ctx.Err()). The noise base seed is drawn from rng before the fan-out
+// either way, so a canceled synthesis still consumes exactly one draw —
+// callers that retain the rng after cancellation abort the whole capture,
+// never resume it. A nil ctx is exactly SynthesizeWorkers.
+func SynthesizeCtx(ctx context.Context, p Params, returns []Return, at float64, rng *rand.Rand, workers int) (*Frame, error) {
 	f := NewFrame(p, at)
 	noisy := rng != nil && p.NoiseStd > 0
 	var base int64
 	if noisy {
 		base = rng.Int63()
 	}
-	parallel.ForEach(p.NumAntennas, workers, func(k int) {
+	err := parallel.ForEachCtx(ctx, p.NumAntennas, workers, func(k int) {
 		f.addReturnsAntenna(k, returns)
 		if noisy {
 			f.addNoiseRow(k, rand.New(rand.NewSource(parallel.SplitSeed(base, k))))
 		}
 	})
-	return f
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // AddReturns accumulates the beat contributions of the given returns into
@@ -141,6 +156,29 @@ func (f *Frame) addNoiseRow(k int, rng *rand.Rand) {
 		row[i] += complex(rng.NormFloat64()*std, rng.NormFloat64()*std)
 	}
 }
+
+// Differencer is the streaming form of successive-frame background
+// subtraction (§3): feed it frames one at a time and it emits cur - prev,
+// holding exactly one frame of history. The zero value is ready to use.
+type Differencer struct {
+	prev *Frame
+}
+
+// Step consumes the next frame and returns its background-subtracted
+// difference against the previous one. The first frame only seeds the
+// history: Step returns (nil, false) for it, matching the batch pipeline
+// where frame 0 contributes no detection set.
+func (d *Differencer) Step(f *Frame) (*Frame, bool) {
+	prev := d.prev
+	d.prev = f
+	if prev == nil {
+		return nil, false
+	}
+	return f.Sub(prev), true
+}
+
+// Reset drops the held history so the next Step seeds it again.
+func (d *Differencer) Reset() { d.prev = nil }
 
 // Sub returns f - g sample-wise as a new frame: the successive-frame
 // background subtraction primitive of §3 ("Addressing Static Reflectors").

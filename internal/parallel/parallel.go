@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,61 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachCtx is ForEach with cooperative cancellation: workers stop claiming
+// new indices once ctx is done, wait for in-flight calls to finish, and the
+// call returns ctx.Err(). Indices already claimed still run to completion, so
+// fn's disjoint-write contract is unchanged; on cancellation the partially
+// written destinations must simply be discarded by the caller.
+//
+// A nil ctx selects the zero-context path, which is exactly ForEach: no
+// cancellation checks, nil error. The bit-identity guarantee holds either
+// way — cancellation changes which indices run, never what an index computes.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		ForEach(n, workers, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
 // Group runs heterogeneous tasks with bounded concurrency and first-error
 // capture, in the style of golang.org/x/sync/errgroup (reimplemented here
 // to keep the module dependency-free). The zero value is not usable; call
@@ -96,13 +152,54 @@ func (g *Group) Go(fn func() error) {
 		defer g.wg.Done()
 		defer func() { <-g.sem }()
 		if err := fn(); err != nil {
-			g.mu.Lock()
-			if g.err == nil {
-				g.err = err
-			}
-			g.mu.Unlock()
+			g.setErr(err)
 		}
 	}()
+}
+
+// GoCtx schedules fn like Go, but stops scheduling once ctx is done: a
+// canceled context makes GoCtx record ctx.Err() (first error wins) and
+// return without running fn — including while blocked waiting for a pool
+// slot. Tasks already running are not interrupted; fn receives no context
+// and should watch ctx itself if it is long-running. A nil ctx behaves
+// exactly like Go.
+func (g *Group) GoCtx(ctx context.Context, fn func() error) {
+	if ctx == nil {
+		g.Go(fn)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		g.setErr(err)
+		return
+	}
+	g.wg.Add(1)
+	select {
+	case g.sem <- struct{}{}:
+	case <-ctx.Done():
+		g.wg.Done()
+		g.setErr(ctx.Err())
+		return
+	}
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.sem }()
+		if err := ctx.Err(); err != nil {
+			g.setErr(err)
+			return
+		}
+		if err := fn(); err != nil {
+			g.setErr(err)
+		}
+	}()
+}
+
+// setErr records the group's first error.
+func (g *Group) setErr(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
 }
 
 // Wait blocks until every scheduled task has finished and returns the first

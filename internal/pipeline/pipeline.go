@@ -1,0 +1,146 @@
+// Package pipeline runs the scene→fmcw→radar→tracker chain as a streaming
+// pipeline: a Source emits one *fmcw.Frame at a time and a chain of
+// composable Stages processes each frame before the next is synthesized, so
+// a capture of any length runs with O(1) frames in flight (plus the one
+// frame of background-subtraction history inside radar.FrontEnd). A
+// context.Context threads through the source and every stage, so a capture
+// can be canceled or timed out mid-stream.
+//
+// The contract with the batch path is strict equivalence: for the same
+// scene, seed, and configuration, streaming a capture frame by frame
+// produces bit-identical frames, profiles, detections, tracks, and
+// breathing-phase series to Scene.Capture + Processor.ProcessFrames +
+// radar.TrackDetections + BreathingExtractor.PhaseSeries. That holds by
+// construction — the batch functions are thin wrappers over the same
+// per-frame step APIs the stages call (scene.FrameStream, radar.FrontEnd,
+// radar.PhaseStream) — and is enforced by the golden equivalence test in
+// this package. DESIGN.md ("Streaming pipeline") documents the stage graph
+// and cancellation semantics.
+//
+// A typical assembly:
+//
+//	pr := radar.NewProcessor(radar.DefaultConfig())
+//	trk := pipeline.NewTrack(radar.TrackerConfig{})
+//	stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
+//	p := pipeline.New(sc.Stream(0, nFrames, rng), stages...)
+//	if _, err := p.Run(ctx); err != nil { ... }
+//	tracks := trk.Tracks()
+package pipeline
+
+import (
+	"context"
+	"io"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/radar"
+)
+
+// Source emits the frames a pipeline consumes, one at a time. Next returns
+// io.EOF when the stream is exhausted and ctx.Err() once ctx is done.
+// scene.FrameStream is the canonical implementation; FromFrames adapts an
+// already-captured slice (replays, tests).
+type Source interface {
+	Next(ctx context.Context) (*fmcw.Frame, error)
+}
+
+// Item is the per-frame record flowing down the stage chain. Each stage
+// reads the fields earlier stages filled in and adds its own; a stage that
+// finds its input field nil passes the item through untouched (the first
+// frame of a capture, for example, only seeds the background history and
+// produces no profile or detections).
+type Item struct {
+	Index      int         // frame number within the run, from 0
+	Frame      *fmcw.Frame // the raw synthesized frame
+	Diff       *fmcw.Frame // background-subtracted frame (nil for frame 0)
+	Profile    *radar.Profile
+	Detections []radar.Detection
+	HasDets    bool // Detections is valid (maybe empty): frame produced a detection set
+}
+
+// Stage is one processing step applied to every item in stream order.
+// Stages run sequentially within a frame and hold whatever bounded state
+// they need across frames (one history frame, a tracker, an unwrap offset);
+// they must not retain the Item or its Frame beyond the call unless
+// accumulation is their documented purpose (collectors, trackers).
+type Stage interface {
+	// Name identifies the stage in errors and diagnostics.
+	Name() string
+	// Process consumes the next item. Returning an error aborts the run.
+	Process(ctx context.Context, it *Item) error
+}
+
+// Pipeline wires a Source to a stage chain.
+type Pipeline struct {
+	src    Source
+	stages []Stage
+}
+
+// New assembles a pipeline. Stages run in the given order for every frame.
+func New(src Source, stages ...Stage) *Pipeline {
+	return &Pipeline{src: src, stages: stages}
+}
+
+// Run drains the source through the stage chain: synthesize (or read) one
+// frame, push it through every stage, drop it, repeat. It returns the
+// number of frames fully processed and the first error. A done context
+// stops the run between per-frame steps (and inside the ctx-aware kernels
+// below them) with ctx.Err(); an exhausted source ends it with a nil error.
+// A nil ctx never cancels.
+func (p *Pipeline) Run(ctx context.Context) (frames int, err error) {
+	for i := 0; ; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return i, err
+			}
+		}
+		f, err := p.src.Next(ctx)
+		if err == io.EOF {
+			return i, nil
+		}
+		if err != nil {
+			return i, err
+		}
+		it := &Item{Index: i, Frame: f}
+		for _, st := range p.stages {
+			if err := st.Process(ctx, it); err != nil {
+				return i, stageError{stage: st.Name(), err: err}
+			}
+		}
+	}
+}
+
+// stageError tags an error with the stage that produced it while keeping
+// errors.Is/As working on the cause.
+type stageError struct {
+	stage string
+	err   error
+}
+
+func (e stageError) Error() string { return "pipeline: " + e.stage + ": " + e.err.Error() }
+func (e stageError) Unwrap() error { return e.err }
+
+// frameSlice adapts an in-memory frame slice to the Source interface.
+type frameSlice struct {
+	frames []*fmcw.Frame
+	i      int
+}
+
+// FromFrames returns a Source replaying an already-captured slice — the
+// bridge from recorded data (or tests) into the streaming pipeline.
+func FromFrames(frames []*fmcw.Frame) Source {
+	return &frameSlice{frames: frames}
+}
+
+func (s *frameSlice) Next(ctx context.Context) (*fmcw.Frame, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if s.i >= len(s.frames) {
+		return nil, io.EOF
+	}
+	f := s.frames[s.i]
+	s.i++
+	return f, nil
+}

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"context"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/radar"
+)
+
+// BackgroundSubtractStage streams successive-frame background subtraction
+// (§3): it.Diff = frame − previous frame, holding exactly one frame of
+// history. Frame 0 only seeds the history and leaves it.Diff nil.
+type BackgroundSubtractStage struct {
+	diff fmcw.Differencer
+}
+
+// NewBackgroundSubtract returns a fresh background-subtraction stage.
+func NewBackgroundSubtract() *BackgroundSubtractStage { return &BackgroundSubtractStage{} }
+
+func (s *BackgroundSubtractStage) Name() string { return "background-subtract" }
+
+func (s *BackgroundSubtractStage) Process(ctx context.Context, it *Item) error {
+	if d, ok := s.diff.Step(it.Frame); ok {
+		it.Diff = d
+	}
+	return nil
+}
+
+// RangeAngleStage computes the range–angle power profile (range FFT +
+// Eq. 2 beamforming) of the background-subtracted frame. Items without a
+// Diff pass through untouched.
+type RangeAngleStage struct {
+	pr *radar.Processor
+}
+
+// NewRangeAngle returns a profile stage over the given processor.
+func NewRangeAngle(pr *radar.Processor) *RangeAngleStage { return &RangeAngleStage{pr: pr} }
+
+func (s *RangeAngleStage) Name() string { return "range-angle" }
+
+func (s *RangeAngleStage) Process(ctx context.Context, it *Item) error {
+	if it.Diff == nil {
+		return nil
+	}
+	prof, err := s.pr.RangeAngleCtx(ctx, it.Diff)
+	if err != nil {
+		return err
+	}
+	it.Profile = prof
+	return nil
+}
+
+// PeakExtractStage extracts target detections from the profile. Items
+// without a Profile pass through untouched; items with one always get a
+// detection set (possibly empty) and HasDets = true, mirroring the batch
+// front end where every post-background frame yields one detection slice.
+type PeakExtractStage struct {
+	pr    *radar.Processor
+	array fmcw.Array
+}
+
+// NewPeakExtract returns a detection stage mapping peaks to world
+// coordinates through the given array geometry.
+func NewPeakExtract(pr *radar.Processor, array fmcw.Array) *PeakExtractStage {
+	return &PeakExtractStage{pr: pr, array: array}
+}
+
+func (s *PeakExtractStage) Name() string { return "peak-extract" }
+
+func (s *PeakExtractStage) Process(ctx context.Context, it *Item) error {
+	if it.Profile == nil {
+		return nil
+	}
+	it.Detections = s.pr.Detect(it.Profile, s.array)
+	it.HasDets = true
+	return nil
+}
+
+// FrontEndStages returns the standard eavesdropper front end as a stage
+// chain — background-subtract → range FFT/beamform → peak-extract — ready
+// to prepend to a tracker or collector. The chain's detection sequence is
+// bit-identical to Processor.ProcessFrames over the same frames.
+func FrontEndStages(pr *radar.Processor, array fmcw.Array) []Stage {
+	return []Stage{NewBackgroundSubtract(), NewRangeAngle(pr), NewPeakExtract(pr, array)}
+}
+
+// TrackStage feeds each frame's detections into a multi-target tracker,
+// exactly as radar.TrackDetections does in batch: empty detection sets are
+// skipped, times come from the detections.
+type TrackStage struct {
+	tr *radar.Tracker
+}
+
+// NewTrack returns a tracking stage over a fresh tracker (zero-valued
+// config fields take radar defaults).
+func NewTrack(cfg radar.TrackerConfig) *TrackStage {
+	return &TrackStage{tr: radar.NewTracker(cfg)}
+}
+
+func (s *TrackStage) Name() string { return "track" }
+
+func (s *TrackStage) Process(ctx context.Context, it *Item) error {
+	if !it.HasDets || len(it.Detections) == 0 {
+		return nil
+	}
+	s.tr.Observe(it.Detections[0].Time, it.Detections)
+	return nil
+}
+
+// Tracks returns the confirmed tracks accumulated so far (see
+// radar.Tracker.Tracks).
+func (s *TrackStage) Tracks() []*radar.Track { return s.tr.Tracks() }
+
+// BreathingPhaseStage extracts the unwrapped carrier phase at a range bin
+// from every raw frame — the vital-sign monitor of §11.4 — holding only the
+// incremental unwrap state. The accumulated series is its output.
+type BreathingPhaseStage struct {
+	ex       radar.BreathingExtractor
+	distance float64
+	ps       *radar.PhaseStream
+}
+
+// NewBreathingPhase returns a phase stage monitoring the given distance.
+func NewBreathingPhase(ex radar.BreathingExtractor, distance float64) *BreathingPhaseStage {
+	return &BreathingPhaseStage{ex: ex, distance: distance}
+}
+
+func (s *BreathingPhaseStage) Name() string { return "breathing-phase" }
+
+func (s *BreathingPhaseStage) Process(ctx context.Context, it *Item) error {
+	if s.ps == nil {
+		s.ps = s.ex.NewStream(it.Frame.Params, s.distance)
+	}
+	s.ps.Step(it.Frame)
+	return nil
+}
+
+// Series returns the frame times and unwrapped phase samples so far,
+// bit-identical to BreathingExtractor.PhaseSeries over the same frames.
+func (s *BreathingPhaseStage) Series() (times, phase []float64) {
+	if s.ps == nil {
+		return nil, nil
+	}
+	return s.ps.Series()
+}
+
+// DetectionsCollector accumulates the per-frame detection sets, matching
+// Processor.ProcessFrames output shape. Memory grows with capture length —
+// collectors are for consumers that need the whole sequence (measurement
+// matching, tests), not for bounded-memory streaming.
+type DetectionsCollector struct {
+	dets [][]radar.Detection
+}
+
+// NewCollectDetections returns an empty detections collector.
+func NewCollectDetections() *DetectionsCollector { return &DetectionsCollector{} }
+
+func (s *DetectionsCollector) Name() string { return "collect-detections" }
+
+func (s *DetectionsCollector) Process(ctx context.Context, it *Item) error {
+	if it.HasDets {
+		s.dets = append(s.dets, it.Detections)
+	}
+	return nil
+}
+
+// Detections returns the accumulated sequence.
+func (s *DetectionsCollector) Detections() [][]radar.Detection { return s.dets }
+
+// ProfilesCollector accumulates every computed profile (unbounded; tests
+// and offline analysis only).
+type ProfilesCollector struct {
+	profs []*radar.Profile
+}
+
+// NewCollectProfiles returns an empty profile collector.
+func NewCollectProfiles() *ProfilesCollector { return &ProfilesCollector{} }
+
+func (s *ProfilesCollector) Name() string { return "collect-profiles" }
+
+func (s *ProfilesCollector) Process(ctx context.Context, it *Item) error {
+	if it.Profile != nil {
+		s.profs = append(s.profs, it.Profile)
+	}
+	return nil
+}
+
+// Profiles returns the accumulated profiles.
+func (s *ProfilesCollector) Profiles() []*radar.Profile { return s.profs }
+
+// FramesCollector accumulates every raw frame (unbounded; tests only — it
+// deliberately defeats the pipeline's bounded-memory property).
+type FramesCollector struct {
+	frames []*fmcw.Frame
+}
+
+// NewCollectFrames returns an empty frame collector.
+func NewCollectFrames() *FramesCollector { return &FramesCollector{} }
+
+func (s *FramesCollector) Name() string { return "collect-frames" }
+
+func (s *FramesCollector) Process(ctx context.Context, it *Item) error {
+	s.frames = append(s.frames, it.Frame)
+	return nil
+}
+
+// Frames returns the accumulated frames.
+func (s *FramesCollector) Frames() []*fmcw.Frame { return s.frames }

@@ -23,32 +23,78 @@ func rangeBinOf(p fmcw.Params, distance float64) int {
 }
 
 // PhaseSeries returns the unwrapped phase at the range bin nearest to
-// distance, one sample per frame, along with the frame times.
+// distance, one sample per frame, along with the frame times. It is the
+// batch wrapper over NewStream/Step.
 func (b BreathingExtractor) PhaseSeries(frames []*fmcw.Frame, distance float64) (times, phase []float64) {
 	if len(frames) == 0 {
 		return nil, nil
 	}
-	p := frames[0].Params
-	bin := rangeBinOf(p, distance)
+	ps := b.NewStream(frames[0].Params, distance)
+	for _, f := range frames {
+		ps.Step(f)
+	}
+	return ps.Series()
+}
+
+// PhaseStream is the streaming form of PhaseSeries: feed it frames one at a
+// time and it extracts and unwraps the phase at its range bin incrementally,
+// holding only one sample of unwrap state per step (the accumulated series
+// is the output, not working memory). The incremental unwrap applies the
+// same ±2π offset recurrence as dsp.Unwrap, so the series is bit-identical
+// to the batch extraction.
+type PhaseStream struct {
+	bin    int
+	ant    int
+	win    []float64
+	x      []complex128
+	times  []float64
+	phase  []float64
+	prev   float64 // previous wrapped sample
+	offset float64 // accumulated unwrap offset
+}
+
+// NewStream returns a PhaseStream for frames with the given parameters,
+// monitoring the range bin nearest to distance.
+func (b BreathingExtractor) NewStream(p fmcw.Params, distance float64) *PhaseStream {
 	n := p.SamplesPerChirp()
 	ant := b.Antenna
 	if ant < 0 || ant >= p.NumAntennas {
 		ant = 0
 	}
-	wrapped := make([]float64, len(frames))
-	times = make([]float64, len(frames))
-	x := make([]complex128, n)
-	win := dsp.Hann.Coefficients(n)
-	for i, f := range frames {
-		for j, v := range f.Data[ant] {
-			x[j] = v * complex(win[j], 0)
-		}
-		dsp.FFTInPlace(x)
-		wrapped[i] = cmplx.Phase(x[bin])
-		times[i] = f.Time
+	return &PhaseStream{
+		bin: rangeBinOf(p, distance),
+		ant: ant,
+		win: dsp.Hann.Coefficients(n),
+		x:   make([]complex128, n),
 	}
-	return times, dsp.Unwrap(wrapped)
 }
+
+// Step consumes the next frame and returns its capture time and unwrapped
+// phase sample.
+func (ps *PhaseStream) Step(f *fmcw.Frame) (t, unwrapped float64) {
+	for j, v := range f.Data[ps.ant] {
+		ps.x[j] = v * complex(ps.win[j], 0)
+	}
+	dsp.FFTInPlace(ps.x)
+	w := cmplx.Phase(ps.x[ps.bin])
+	unwrapped = w
+	if len(ps.phase) > 0 {
+		d := w - ps.prev
+		if d > math.Pi {
+			ps.offset -= 2 * math.Pi
+		} else if d < -math.Pi {
+			ps.offset += 2 * math.Pi
+		}
+		unwrapped = w + ps.offset
+	}
+	ps.prev = w
+	ps.times = append(ps.times, f.Time)
+	ps.phase = append(ps.phase, unwrapped)
+	return f.Time, unwrapped
+}
+
+// Series returns the accumulated frame times and unwrapped phase samples.
+func (ps *PhaseStream) Series() (times, phase []float64) { return ps.times, ps.phase }
 
 // EstimateRate returns the breathing rate in Hz from an unwrapped phase
 // series sampled at frameRate.

@@ -11,6 +11,7 @@
 package radar
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 
@@ -129,6 +130,14 @@ func (pr *Processor) steeringFor(p fmcw.Params) [][]complex128 {
 // background-subtracted) frame: per-antenna windowed range FFT, then Eq. 2
 // beamforming at every range bin.
 func (pr *Processor) RangeAngle(f *fmcw.Frame) *Profile {
+	prof, _ := pr.RangeAngleCtx(nil, f)
+	return prof
+}
+
+// RangeAngleCtx is RangeAngle with cooperative cancellation threaded into
+// the FFT batch and the beamforming fan-out; it returns (nil, ctx.Err())
+// once ctx is done. A nil ctx is exactly RangeAngle.
+func (pr *Processor) RangeAngleCtx(ctx context.Context, f *fmcw.Frame) (*Profile, error) {
 	p := f.Params
 	n := p.SamplesPerChirp()
 	nAnt := p.NumAntennas
@@ -143,7 +152,9 @@ func (pr *Processor) RangeAngle(f *fmcw.Frame) *Profile {
 		}
 		spectra[k] = x
 	}
-	dsp.FFTEach(spectra, 0)
+	if err := dsp.FFTEachCtx(ctx, spectra, 0); err != nil {
+		return nil, err
+	}
 
 	maxBin := pr.maxRangeBin(p, n)
 	minBin := pr.minRangeBin(p, n)
@@ -158,7 +169,7 @@ func (pr *Processor) RangeAngle(f *fmcw.Frame) *Profile {
 	}
 	// Each range bin's beamforming sweep is independent and writes only its
 	// own row of the profile, so bins fan out across the worker pool.
-	parallel.ForEach(maxBin-minBin, 0, func(i int) {
+	err := parallel.ForEachCtx(ctx, maxBin-minBin, 0, func(i int) {
 		r := minBin + i
 		row := prof.Power[r*bins : (r+1)*bins]
 		for a := 0; a < bins; a++ {
@@ -170,7 +181,10 @@ func (pr *Processor) RangeAngle(f *fmcw.Frame) *Profile {
 			row[a] = real(s)*real(s) + imag(s)*imag(s)
 		}
 	})
-	return prof
+	if err != nil {
+		return nil, err
+	}
+	return prof, nil
 }
 
 func (pr *Processor) maxRangeBin(p fmcw.Params, n int) int {

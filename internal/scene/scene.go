@@ -1,6 +1,8 @@
 package scene
 
 import (
+	"context"
+	"io"
 	"math/rand"
 
 	"rfprotect/internal/fmcw"
@@ -112,11 +114,26 @@ func (s *Scene) ReturnsAt(t float64) []fmcw.Return {
 // diffuse-multipath speckle (random weak companion reflections near every
 // return) when rng is non-nil.
 func (s *Scene) FrameAt(t float64, rng *rand.Rand) *fmcw.Frame {
+	f, _ := s.FrameAtCtx(nil, t, rng)
+	return f
+}
+
+// FrameAtCtx is FrameAt with cooperative cancellation threaded into the
+// synthesis fan-out; it returns (nil, ctx.Err()) once ctx is done. The rng
+// consumption order is identical to FrameAt (speckle draws, then one noise
+// base draw), so for a nil or never-canceled ctx the frame is bit-identical
+// to the batch path.
+func (s *Scene) FrameAtCtx(ctx context.Context, t float64, rng *rand.Rand) (*fmcw.Frame, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	returns := s.ReturnsAt(t)
 	if rng != nil && s.Room.Speckle > 0 {
 		returns = append(returns, s.speckle(returns, rng)...)
 	}
-	return fmcw.Synthesize(s.Params, returns, t, rng)
+	return fmcw.SynthesizeCtx(ctx, s.Params, returns, t, rng, 0)
 }
 
 // speckle generates one weak companion per return: a diffuse bounce arriving
@@ -154,12 +171,64 @@ func (s *Scene) CaptureBurst(t0 float64, nChirps int, pri float64, rng *rand.Ran
 }
 
 // Capture synthesizes n consecutive frames starting at t0 at the params'
-// frame rate.
+// frame rate. It is the batch wrapper over Stream: both paths synthesize
+// the same frames in the same order from the same rng draws, so a drained
+// stream is bit-identical to a capture.
 func (s *Scene) Capture(t0 float64, n int, rng *rand.Rand) []*fmcw.Frame {
-	out := make([]*fmcw.Frame, n)
-	dt := 1 / s.Params.FrameRate
-	for i := range out {
-		out[i] = s.FrameAt(t0+float64(i)*dt, rng)
-	}
+	out, _ := s.CaptureCtx(nil, t0, n, rng)
 	return out
+}
+
+// CaptureCtx is Capture with cooperative cancellation: it returns the
+// frames synthesized so far plus ctx.Err() once ctx is done. A nil ctx is
+// exactly Capture.
+func (s *Scene) CaptureCtx(ctx context.Context, t0 float64, n int, rng *rand.Rand) ([]*fmcw.Frame, error) {
+	out := make([]*fmcw.Frame, 0, n)
+	st := s.Stream(t0, n, rng)
+	for {
+		f, err := st.Next(ctx)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+	}
+}
+
+// FrameStream emits a capture one frame at a time: the scene-side Source of
+// the streaming pipeline (internal/pipeline). It holds no frame history, so
+// a stream of any length runs in O(1) frame memory.
+type FrameStream struct {
+	scene *Scene
+	t0    float64
+	dt    float64
+	n     int
+	i     int
+	rng   *rand.Rand
+}
+
+// Stream returns a FrameStream over the same n frames Capture(t0, n, rng)
+// would synthesize: frame i is captured at t0 + i/FrameRate, and rng is
+// consumed in frame order, so draining the stream consumes rng exactly as
+// the batch capture does. n < 0 means an unbounded stream (frames forever,
+// until the consumer stops).
+func (s *Scene) Stream(t0 float64, n int, rng *rand.Rand) *FrameStream {
+	return &FrameStream{scene: s, t0: t0, dt: 1 / s.Params.FrameRate, n: n, rng: rng}
+}
+
+// Next synthesizes and returns the next frame. It returns io.EOF once the
+// stream is exhausted, or ctx.Err() once ctx is done (a nil ctx never
+// cancels).
+func (st *FrameStream) Next(ctx context.Context) (*fmcw.Frame, error) {
+	if st.n >= 0 && st.i >= st.n {
+		return nil, io.EOF
+	}
+	f, err := st.scene.FrameAtCtx(ctx, st.t0+float64(st.i)*st.dt, st.rng)
+	if err != nil {
+		return nil, err
+	}
+	st.i++
+	return f, nil
 }
