@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build vet lint test race short bench bench-json ci
+# Coverage floor (percent of statements) enforced by `make cover` on the
+# packages whose correctness rests on their test harness: the concurrent
+# scheduler and the FFT batch layer under it.
+COVER_MIN ?= 80
+COVER_PKGS ?= ./internal/pipeline ./internal/dsp
+
+.PHONY: build vet lint test race short bench bench-json cover fuzz ci
 
 build:
 	$(GO) build ./...
@@ -35,4 +41,21 @@ bench:
 bench-json:
 	$(GO) run ./cmd/bench -out BENCH_pipeline.json
 
-ci: lint build race
+# Per-package statement coverage with a hard floor: each package in
+# COVER_PKGS must individually clear COVER_MIN%.
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		$(GO) test -coverprofile=cover.out $$pkg >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		rm -f cover.out; \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_MIN)%)"; \
+		ok=$$(awk -v p="$$pct" -v m="$(COVER_MIN)" 'BEGIN {print (p+0 >= m+0) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "coverage below floor for $$pkg"; exit 1; fi; \
+	done
+
+# Bounded fuzz exploration of the stage-composition state space; the seed
+# corpus alone runs on every plain `go test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzStageComposition -fuzztime 10s ./internal/pipeline
+
+ci: lint build race cover fuzz

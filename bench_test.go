@@ -279,6 +279,47 @@ func BenchmarkStreamingCaptureTrack(b *testing.B) {
 			radar.TrackDetections(radar.TrackerConfig{}, pr.ProcessFrames(frames, sc.Radar))
 		}
 	})
+	// Stage-overlapped scheduler over the same chain: each stage in its own
+	// goroutine, bounded channels of the given depth, output bit-identical
+	// to the sequential run.
+	for _, depth := range []int{1, 4} {
+		b.Run(fmt.Sprintf("concurrent-depth-%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pr := radar.NewProcessor(radar.DefaultConfig())
+				trk := pipeline.NewTrack(radar.TrackerConfig{})
+				stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
+				rng := rand.New(rand.NewSource(1))
+				p := pipeline.New(sc.Stream(0, nFrames, rng), stages...)
+				if _, err := p.RunConcurrent(context.Background(), depth); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDopplerStage measures the steady-state per-frame cost of the
+// sliding-window range–Doppler recompute: the 8-frame window is pre-filled,
+// so every iteration is one ring-buffer push plus a full slow-time FFT over
+// all range bins.
+func BenchmarkDopplerStage(b *testing.B) {
+	sess := streamingSession(b)
+	sc := sess.Scene
+	rng := rand.New(rand.NewSource(1))
+	frame := sc.FrameAt(0, rng)
+	dop := pipeline.NewDoppler(radar.NewProcessor(radar.DefaultConfig()), 8, 0)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := dop.Process(ctx, &pipeline.Item{Index: i, Frame: frame}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dop.Process(ctx, &pipeline.Item{Index: 8 + i, Frame: frame}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkStreamingCancellation measures how fast a canceled unbounded

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -172,11 +173,25 @@ func main() {
 			name, frames, ns, 1e9/ns, float64(peak)/(1<<20))
 	}
 	for _, n := range streamLens {
-		ns, peak := captureRun(*seed, n, true)
+		ns, peak := captureRun(*seed, n, modeStreaming)
 		addStream("streaming_capture_track", n, ns, peak)
-		ns, peak = captureRun(*seed, n, false)
+		cns, cpeak := captureRun(*seed, n, modeConcurrent)
+		addStream("streaming_capture_track_concurrent", n, cns, cpeak)
+		if n == streamLens[len(streamLens)-1] {
+			// Stage-overlap speedup of the ≥2-stage chain at the longest
+			// capture; near 1× on a single CPU, above it once stages can
+			// genuinely run on different cores.
+			snap.Speedups["concurrent_pipeline"] = ns / cns
+		}
+		ns, peak = captureRun(*seed, n, modeBatch)
 		addStream("batch_capture_track", n, ns, peak)
 	}
+
+	// Sliding-window Doppler: steady-state per-frame cost of the K-frame
+	// ring-buffer range–Doppler recompute (slow-time FFT over 8 frames of
+	// 512-sample chirps, every range bin).
+	dopNs, dopIt := measure(minDur, dopplerStageRun(*seed))
+	add("doppler_stage_win8_per_frame", 1, dopNs, dopIt)
 
 	// End-to-end experiment: Fig. 9 radar localization (no GAN training),
 	// covering synthesis, range-angle profiles, peaks, and tracking.
@@ -206,12 +221,21 @@ func main() {
 	}
 }
 
+// captureRun modes: the sequential streaming pipeline, the stage-overlapped
+// concurrent scheduler (goroutine per stage, bounded channels), and the
+// batch path.
+const (
+	modeStreaming = iota
+	modeConcurrent
+	modeBatch
+)
+
 // captureRun measures one eavesdropper session — synthesize nFrames of a
-// home with a programmed ghost, range-angle process, track — either through
-// the streaming pipeline or the batch path, and returns ns/frame plus the
-// heap retained at the end of the run (before the results are released).
-// Both paths produce bit-identical tracks; only cost and footprint differ.
-func captureRun(seed int64, nFrames int, streaming bool) (nsPerFrame float64, peakHeap uint64) {
+// home with a programmed ghost, range-angle process, track — through the
+// selected path, and returns ns/frame plus the heap retained at the end of
+// the run (before the results are released). All paths produce
+// bit-identical tracks; only cost and footprint differ.
+func captureRun(seed int64, nFrames int, mode int) (nsPerFrame float64, peakHeap uint64) {
 	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench: session:", err)
@@ -237,15 +261,23 @@ func captureRun(seed int64, nFrames int, streaming bool) (nsPerFrame float64, pe
 	start := time.Now()
 	var tracks []*radar.Track
 	var frames []*fmcw.Frame
-	if streaming {
+	switch mode {
+	case modeStreaming, modeConcurrent:
 		trk := pipeline.NewTrack(radar.TrackerConfig{})
 		stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
-		if _, err := pipeline.New(sc.Stream(0, nFrames, rng), stages...).Run(nil); err != nil {
+		p := pipeline.New(sc.Stream(0, nFrames, rng), stages...)
+		var err error
+		if mode == modeConcurrent {
+			_, err = p.RunConcurrent(context.Background(), 2)
+		} else {
+			_, err = p.Run(nil)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench: pipeline:", err)
 			os.Exit(1)
 		}
 		tracks = trk.Tracks()
-	} else {
+	default:
 		frames = sc.Capture(0, nFrames, rng)
 		tracks = radar.TrackDetections(radar.TrackerConfig{}, pr.ProcessFrames(frames, sc.Radar))
 	}
@@ -262,6 +294,32 @@ func captureRun(seed int64, nFrames int, streaming bool) (nsPerFrame float64, pe
 		peakHeap = m1.HeapAlloc - m0.HeapAlloc
 	}
 	return float64(elapsed.Nanoseconds()) / float64(nFrames), peakHeap
+}
+
+// dopplerStageRun returns a closure measuring the steady-state per-frame
+// cost of the sliding-window DopplerStage: the window is pre-filled, so each
+// call is one push plus one full range–Doppler recompute.
+func dopplerStageRun(seed int64) func() {
+	params := fmcw.DefaultParams()
+	rng := rand.New(rand.NewSource(seed))
+	returns := synthReturns(4, seed)
+	frame := fmcw.SynthesizeWorkers(params, returns, 0, rng, 1)
+	dop := pipeline.NewDoppler(radar.NewProcessor(radar.DefaultConfig()), 8, 0)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := dop.Process(ctx, &pipeline.Item{Index: i, Frame: frame}); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: doppler:", err)
+			os.Exit(1)
+		}
+	}
+	i := 8
+	return func() {
+		if err := dop.Process(ctx, &pipeline.Item{Index: i, Frame: frame}); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: doppler:", err)
+			os.Exit(1)
+		}
+		i++
+	}
 }
 
 // synthReturns mirrors the mixed workload the fmcw benchmarks use.

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"rfprotect/internal/experiments"
 )
@@ -32,7 +35,16 @@ func main() {
 	if *quick {
 		sz = experiments.Quick()
 	}
-	if err := experiments.Run(*run, sz, *seed, os.Stdout); err != nil {
+	// Interrupt (^C) cancels the sweep cooperatively: captures stop, workers
+	// join, and the command exits instead of grinding through the remaining
+	// paper-scale experiments.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := experiments.RunCtx(ctx, *run, sz, *seed, os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

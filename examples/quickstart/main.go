@@ -6,6 +6,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"math/rand"
 
@@ -18,6 +19,10 @@ import (
 )
 
 func main() {
+	concurrent := flag.Bool("concurrent", false,
+		"overlap the pipeline stages across goroutines (same tracks, same order)")
+	flag.Parse()
+
 	// 1. A home with an eavesdropper radar on the bottom wall and an
 	//    RF-Protect tag deployed broadside to it.
 	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom()})
@@ -51,12 +56,20 @@ func main() {
 	//    each frame is synthesized, processed, and dropped before the next —
 	//    memory stays flat no matter how long it listens, and the tracks are
 	//    bit-identical to a batch Capture + ProcessFrames + TrackDetections.
+	//    With -concurrent, each stage runs in its own goroutine connected by
+	//    bounded channels — the output is bit-identical either way.
 	nFrames := int(3 * sc.Params.FrameRate)
 	rng := rand.New(rand.NewSource(42))
 	pr := radar.NewProcessor(radar.DefaultConfig())
 	trk := pipeline.NewTrack(radar.TrackerConfig{})
 	stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
-	if _, err := pipeline.New(sc.Stream(0, nFrames, rng), stages...).Run(context.Background()); err != nil {
+	p := pipeline.New(sc.Stream(0, nFrames, rng), stages...)
+	if *concurrent {
+		_, err = p.RunConcurrent(context.Background(), 2)
+	} else {
+		_, err = p.Run(context.Background())
+	}
+	if err != nil {
 		panic(err)
 	}
 	tracks := trk.Tracks()

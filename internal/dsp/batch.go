@@ -46,6 +46,51 @@ func IFFTEach(batch [][]complex128, workers int) {
 	ParallelMap(batch, workers, IFFTInPlace)
 }
 
+// SlowTimeFFT computes the slow-time (cross-row) FFT of a burst of spectra:
+// rows[k] is the fast-time spectrum of chirp k, and the result's cols[r] is
+// the windowed FFT across chirps of range bin r, for r in [0, bins). This is
+// the second half of range–Doppler processing — rows come out of FFTEach,
+// columns go in here — factored out so every Doppler consumer shares the
+// cached plans and the per-bin fan-out.
+//
+// Each output column is an independent work item writing only its own slice,
+// so the result is bit-identical for any worker count (workers <= 0 means
+// one per available CPU). win is applied along slow time before the
+// transform; a nil win means rectangular. A nil ctx never cancels; once ctx
+// is done the fan-out stops and the partially filled result is discarded
+// with ctx.Err().
+func SlowTimeFFT(ctx context.Context, rows [][]complex128, bins int, win []float64, workers int) ([][]complex128, error) {
+	nd := len(rows)
+	if nd == 0 || bins <= 0 {
+		return nil, nil
+	}
+	if IsPowerOfTwo(nd) {
+		planFor(nd)
+	} else if nd > 1 {
+		bluesteinPlanFor(nd)
+	}
+	cols := make([][]complex128, bins)
+	backing := make([]complex128, bins*nd)
+	for r := range cols {
+		cols[r], backing = backing[:nd], backing[nd:]
+	}
+	err := parallel.ForEachCtx(ctx, bins, workers, func(r int) {
+		col := cols[r]
+		for k := 0; k < nd; k++ {
+			if win != nil {
+				col[k] = rows[k][r] * complex(win[k], 0)
+			} else {
+				col[k] = rows[k][r]
+			}
+		}
+		FFTInPlace(col)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
 // warmPlans builds the FFT plan for every distinct row length up front so
 // concurrent workers hit the cache instead of racing to build duplicate
 // plans (safe either way, but wasted work).

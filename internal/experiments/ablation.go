@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -38,6 +39,12 @@ type AblationResult struct {
 
 // Ablation runs all three ablations at reduced scale.
 func Ablation(seed int64) (AblationResult, error) {
+	return AblationCtx(nil, seed)
+}
+
+// AblationCtx is Ablation with cooperative cancellation through every
+// capture; a nil ctx never cancels.
+func AblationCtx(ctx context.Context, seed int64) (AblationResult, error) {
 	var res AblationResult
 	params := fmcw.DefaultParams()
 	ds := motion.Generate(40, seed)
@@ -56,7 +63,7 @@ func Ablation(seed int64) (AblationResult, error) {
 				return res, err
 			}
 			world := FitGhostTrajectory(ds.Traces[i*3], env, room, rng)
-			m, err := env.MeasureGhost(world, motion.SampleRate, rng)
+			m, err := env.MeasureGhostCtx(ctx, world, motion.SampleRate, rng)
 			if err != nil {
 				return res, err
 			}
@@ -90,7 +97,10 @@ func Ablation(seed int64) (AblationResult, error) {
 			return res, err
 		}
 		rng := rand.New(rand.NewSource(seed + 2))
-		frames := sc.Capture(0, 20, rng)
+		frames, err := sc.CaptureCtx(ctx, 0, 20, rng)
+		if err != nil {
+			return res, err
+		}
 		pr := radar.NewProcessor(radar.DefaultConfig())
 		dets := pr.ProcessFrames(frames, sc.Radar)
 		maxDets := 0

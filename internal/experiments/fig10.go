@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,6 +34,12 @@ type Fig10Result struct {
 // Fig10 runs the reflector microbenchmarks of §10.2 and §10.3 in the office
 // environment.
 func Fig10(sz Sizes, seed int64) (Fig10Result, error) {
+	return Fig10Ctx(nil, sz, seed)
+}
+
+// Fig10Ctx is Fig10 with cooperative cancellation through the trajectory
+// measurement; a nil ctx never cancels.
+func Fig10Ctx(ctx context.Context, sz Sizes, seed int64) (Fig10Result, error) {
 	params := fmcw.DefaultParams()
 	var res Fig10Result
 	rng := rand.New(rand.NewSource(seed))
@@ -74,7 +81,7 @@ func Fig10(sz Sizes, seed int64) (Fig10Result, error) {
 	tr := TrainedGAN(sz, seed)
 	gen := tr.G.Generate(1, 2, rng)[0]
 	world := FitGhostTrajectory(gen, env, scene.OfficeRoom(), rng)
-	m, err := env.MeasureGhost(world, motion.SampleRate, rng)
+	m, err := env.MeasureGhostCtx(ctx, world, motion.SampleRate, rng)
 	if err != nil {
 		return res, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -39,6 +40,13 @@ type Fig11Result struct {
 // Fig11 runs the spoofing-accuracy evaluation with sz.TrajPerRoom
 // trajectories per environment.
 func Fig11(sz Sizes, seed int64) (Fig11Result, error) {
+	return Fig11Ctx(nil, sz, seed)
+}
+
+// Fig11Ctx is Fig11 with cooperative cancellation: once ctx is done, no new
+// trials start, in-flight captures stop, and the first ctx error is returned
+// with every worker joined. A nil ctx never cancels.
+func Fig11Ctx(ctx context.Context, sz Sizes, seed int64) (Fig11Result, error) {
 	params := fmcw.DefaultParams()
 	res := Fig11Result{RangeResolution: params.RangeResolution()}
 	tr := TrainedGAN(sz, seed)
@@ -61,14 +69,14 @@ func Fig11(sz Sizes, seed int64) (Fig11Result, error) {
 		g := parallel.NewGroup(0)
 		for i := 0; i < sz.TrajPerRoom; i++ {
 			i := i
-			g.Go(func() error {
+			g.GoCtx(ctx, func() error {
 				rng := rand.New(rand.NewSource(parallel.SplitSeed(seed+200, i)))
 				env, err := NewEnv(room, params)
 				if err != nil {
 					return err
 				}
 				world := FitGhostTrajectory(gens[i], env, room, rng)
-				m, err := env.MeasureGhost(world, motion.SampleRate, rng)
+				m, err := env.MeasureGhostCtx(ctx, world, motion.SampleRate, rng)
 				if err != nil {
 					return err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -27,6 +28,12 @@ type Fig13Result struct {
 
 // Fig13 runs the legitimate-sensing scenario in the home environment.
 func Fig13(seed int64) (Fig13Result, error) {
+	return Fig13Ctx(nil, seed)
+}
+
+// Fig13Ctx is Fig13 with cooperative cancellation of the capture; a nil ctx
+// never cancels.
+func Fig13Ctx(ctx context.Context, seed int64) (Fig13Result, error) {
 	var res Fig13Result
 	params := fmcw.DefaultParams()
 	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
@@ -54,7 +61,10 @@ func Fig13(seed int64) (Fig13Result, error) {
 	res.GhostTrajectory = ghost
 
 	rng := rand.New(rand.NewSource(seed))
-	frames := sc.Capture(0, n, rng)
+	frames, err := sc.CaptureCtx(ctx, 0, n, rng)
+	if err != nil {
+		return res, err
+	}
 	pr := radar.NewProcessor(radar.DefaultConfig())
 	detSeq := pr.ProcessFrames(frames, sc.Radar)
 	tracks := radar.TrackDetections(radar.TrackerConfig{}, detSeq)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -27,6 +28,12 @@ type Fig14Result struct {
 // Fig14 places a static breathing human and a breathing ghost in the home
 // environment and extracts both phase signatures.
 func Fig14(seed int64) (Fig14Result, error) {
+	return Fig14Ctx(nil, seed)
+}
+
+// Fig14Ctx is Fig14 with cooperative cancellation of the 25 s capture; a nil
+// ctx never cancels.
+func Fig14Ctx(ctx context.Context, seed int64) (Fig14Result, error) {
 	const rate = 0.25
 	const amplitude = 0.005
 	res := Fig14Result{TrueRate: rate}
@@ -54,7 +61,10 @@ func Fig14(seed int64) (Fig14Result, error) {
 
 	rng := rand.New(rand.NewSource(seed))
 	nFrames := int(duration * params.FrameRate)
-	frames := sc.Capture(0, nFrames, rng)
+	frames, err := sc.CaptureCtx(ctx, 0, nFrames, rng)
+	if err != nil {
+		return res, err
+	}
 
 	ex := radar.BreathingExtractor{}
 	humanDist := sc.Radar.DistanceOf(humanPos)

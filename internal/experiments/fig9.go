@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -32,6 +33,13 @@ type Fig9Result struct {
 // environment: a single subject walks two different shapes and the radar's
 // detected trajectory must hug the ground-truth points.
 func Fig9(seed int64) (Fig9Result, error) {
+	return Fig9Ctx(nil, seed)
+}
+
+// Fig9Ctx is Fig9 with cooperative cancellation: once ctx is done the
+// per-shape captures stop and the first ctx error is returned with every
+// worker joined. A nil ctx never cancels.
+func Fig9Ctx(ctx context.Context, seed int64) (Fig9Result, error) {
 	params := fmcw.DefaultParams()
 	var res Fig9Result
 	shapes := []struct {
@@ -48,12 +56,15 @@ func Fig9(seed int64) (Fig9Result, error) {
 	g := parallel.NewGroup(0)
 	for i, sh := range shapes {
 		i, sh := i, sh
-		g.Go(func() error {
+		g.GoCtx(ctx, func() error {
 			sc := scene.NewScene(scene.OfficeRoom(), params)
 			human := scene.NewHuman(sh.traj, params.FrameRate)
 			sc.Humans = []*scene.Human{human}
 			rng := rand.New(rand.NewSource(seed + int64(i)))
-			frames := sc.Capture(0, len(sh.traj), rng)
+			frames, err := sc.CaptureCtx(ctx, 0, len(sh.traj), rng)
+			if err != nil {
+				return err
+			}
 			pr := radar.NewProcessor(radar.DefaultConfig())
 			detSeq := pr.ProcessFrames(frames, sc.Radar)
 			// Per-frame evaluation against the subject's true position at each

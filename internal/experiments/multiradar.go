@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -30,6 +31,13 @@ type MultiRadarResult struct {
 
 // MultiRadar runs the two-radar consistency check in the home environment.
 func MultiRadar(seed int64) (MultiRadarResult, error) {
+	return MultiRadarCtx(nil, seed)
+}
+
+// MultiRadarCtx is MultiRadar with cooperative cancellation: both radars'
+// captures stop once ctx is done and the first ctx error is returned with
+// both workers joined. A nil ctx never cancels.
+func MultiRadarCtx(ctx context.Context, seed int64) (MultiRadarResult, error) {
 	var res MultiRadarResult
 	res.Gate = 1.0
 	params := fmcw.DefaultParams()
@@ -80,13 +88,20 @@ func MultiRadar(seed int64) (MultiRadarResult, error) {
 	var framesA []*fmcw.Frame
 	var detsA, detsB [][]radar.Detection
 	g := parallel.NewGroup(0)
-	g.Go(func() error {
-		framesA = scA.Capture(0, n, rand.New(rand.NewSource(seed)))
+	g.GoCtx(ctx, func() error {
+		var err error
+		framesA, err = scA.CaptureCtx(ctx, 0, n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
 		detsA = radar.NewProcessor(radar.DefaultConfig()).ProcessFrames(framesA, scA.Radar)
 		return nil
 	})
-	g.Go(func() error {
-		framesB := scB.Capture(0, n, rand.New(rand.NewSource(seed+1)))
+	g.GoCtx(ctx, func() error {
+		framesB, err := scB.CaptureCtx(ctx, 0, n, rand.New(rand.NewSource(seed+1)))
+		if err != nil {
+			return err
+		}
 		detsB = radar.NewProcessor(radar.DefaultConfig()).ProcessFrames(framesB, scB.Radar)
 		return nil
 	})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -33,6 +34,12 @@ type ProbeResult struct {
 
 // Probe runs the radar-off detection experiment.
 func Probe(seed int64) (ProbeResult, error) {
+	return ProbeCtx(nil, seed)
+}
+
+// ProbeCtx is Probe with cooperative cancellation of the visibility
+// captures; a nil ctx never cancels.
+func ProbeCtx(ctx context.Context, seed int64) (ProbeResult, error) {
 	var res ProbeResult
 	params := fmcw.DefaultParams()
 	rng := rand.New(rand.NewSource(seed))
@@ -43,7 +50,11 @@ func Probe(seed int64) (ProbeResult, error) {
 	sp := replayspoof.New(geom.Point{X: scA.Radar.Position.X - 0.4, Y: 1.0}, 20e-9, 3)
 	scA.Sources = []scene.ReturnSource{sp}
 	sp.ObserveRadar(0, true)
-	res.SpooferGhostSeen = ghostVisible(scA, sp.SpoofedDistance(scA.Radar), 0.5, rng)
+	seen, err := ghostVisible(ctx, scA, sp.SpoofedDistance(scA.Radar), 0.5, rng)
+	if err != nil {
+		return res, err
+	}
+	res.SpooferGhostSeen = seen
 
 	// --- Scenario B: RF-Protect tag.
 	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
@@ -57,7 +68,11 @@ func Probe(seed int64) (ProbeResult, error) {
 		return res, err
 	}
 	tagGhostDist := scB.Radar.DistanceOf(tagCfg.AntennaPosition(2)) + extra
-	res.TagGhostSeen = ghostVisible(scB, tagGhostDist, 0.5, rng)
+	seen, err = ghostVisible(ctx, scB, tagGhostDist, 0.5, rng)
+	if err != nil {
+		return res, err
+	}
+	res.TagGhostSeen = seen
 
 	// --- The probe: radar off at t = 1.0, listen for 0.5 s at 1 kHz.
 	sp.ObserveRadar(1.0, false)
@@ -78,17 +93,20 @@ func Probe(seed int64) (ProbeResult, error) {
 
 // ghostVisible checks that a spoofed reflection shows up within tol meters
 // of the expected range in a background-subtracted capture.
-func ghostVisible(sc *scene.Scene, wantDist, tol float64, rng *rand.Rand) bool {
-	frames := sc.Capture(0.2, 10, rng)
+func ghostVisible(ctx context.Context, sc *scene.Scene, wantDist, tol float64, rng *rand.Rand) (bool, error) {
+	frames, err := sc.CaptureCtx(ctx, 0.2, 10, rng)
+	if err != nil {
+		return false, err
+	}
 	pr := radar.NewProcessor(radar.DefaultConfig())
 	for _, dets := range pr.ProcessFrames(frames, sc.Radar) {
 		for _, d := range dets {
 			if math.Abs(d.Range-wantDist) < tol {
-				return true
+				return true, nil
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // Print renders the probe comparison.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -9,80 +10,94 @@ import (
 	"rfprotect/internal/parallel"
 )
 
-// Runner executes one named experiment and prints its report to w.
-type Runner func(sz Sizes, seed int64, w io.Writer) error
+// Runner executes one named experiment and prints its report to w. The ctx
+// cancels long captures cooperatively: runners return ctx.Err() once it is
+// done (a nil ctx never cancels).
+type Runner func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error
 
 // Registry maps experiment names (fig7, fig9, ..., table1) to runners.
 var Registry = map[string]Runner{
-	"fig7": func(sz Sizes, seed int64, w io.Writer) error {
+	"fig7": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		Fig7().Print(w)
 		return nil
 	},
-	"fig9": func(sz Sizes, seed int64, w io.Writer) error {
-		r, err := Fig9(seed)
+	"fig9": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig9Ctx(ctx, seed)
 		if err != nil {
 			return err
 		}
 		r.Print(w)
 		return nil
 	},
-	"fig10": func(sz Sizes, seed int64, w io.Writer) error {
-		r, err := Fig10(sz, seed)
+	"fig10": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig10Ctx(ctx, sz, seed)
 		if err != nil {
 			return err
 		}
 		r.Print(w)
 		return nil
 	},
-	"fig11": func(sz Sizes, seed int64, w io.Writer) error {
-		r, err := Fig11(sz, seed)
+	"fig11": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig11Ctx(ctx, sz, seed)
 		if err != nil {
 			return err
 		}
 		r.Print(w)
 		return nil
 	},
-	"fig12": func(sz Sizes, seed int64, w io.Writer) error {
+	"fig12": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		Fig12(sz, seed).Print(w)
 		return nil
 	},
-	"table1": func(sz Sizes, seed int64, w io.Writer) error {
+	"table1": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		Table1(sz, seed).Print(w)
 		return nil
 	},
-	"fig13": func(sz Sizes, seed int64, w io.Writer) error {
-		r, err := Fig13(seed)
+	"fig13": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig13Ctx(ctx, seed)
 		if err != nil {
 			return err
 		}
 		r.Print(w)
 		return nil
 	},
-	"fig14": func(sz Sizes, seed int64, w io.Writer) error {
-		r, err := Fig14(seed)
+	"fig14": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		r, err := Fig14Ctx(ctx, seed)
 		if err != nil {
 			return err
 		}
 		r.Print(w)
 		return nil
 	},
-	"ablation": func(sz Sizes, seed int64, w io.Writer) error {
-		r, err := Ablation(seed)
+	"ablation": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		r, err := AblationCtx(ctx, seed)
 		if err != nil {
 			return err
 		}
 		r.Print(w)
 		return nil
 	},
-	"probe": func(sz Sizes, seed int64, w io.Writer) error {
-		r, err := Probe(seed)
+	"probe": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		r, err := ProbeCtx(ctx, seed)
 		if err != nil {
 			return err
 		}
 		r.Print(w)
 		return nil
 	},
-	"floorplan": func(sz Sizes, seed int64, w io.Writer) error {
+	"floorplan": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		r, err := FloorPlan(sz, seed)
 		if err != nil {
 			return err
@@ -90,14 +105,22 @@ var Registry = map[string]Runner{
 		r.Print(w)
 		return nil
 	},
-	"multiradar": func(sz Sizes, seed int64, w io.Writer) error {
-		r, err := MultiRadar(seed)
+	"multiradar": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		r, err := MultiRadarCtx(ctx, seed)
 		if err != nil {
 			return err
 		}
 		r.Print(w)
 		return nil
 	},
+}
+
+// ctxErr is ctx.Err() tolerating the nil ctx the Ctx-less wrappers pass.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Names returns the registered experiment names in order.
@@ -123,23 +146,33 @@ var ganBacked = map[string]bool{
 	"table1":    true,
 }
 
-// Run executes one experiment by name, or all of them for name == "all".
+// Run executes one experiment by name, or all of them for name == "all",
+// with no cancellation. It is RunCtx with a background context.
+func Run(name string, sz Sizes, seed int64, w io.Writer) error {
+	return RunCtx(context.Background(), name, sz, seed, w)
+}
+
+// RunCtx executes one experiment by name, or all of them for name == "all",
+// stopping early with ctx.Err() once ctx is done.
 //
 // The "all" sweep runs experiments concurrently through a shared bounded
 // pool: each experiment renders into its own buffer, and buffers are
 // flushed to w in name order, so the combined report is byte-identical to a
 // sequential sweep. GAN-backed experiments (see ganBacked) run in order on
-// one task; every other experiment overlaps freely.
-func Run(name string, sz Sizes, seed int64, w io.Writer) error {
+// one task; every other experiment overlaps freely. A done ctx stops the
+// sweep cooperatively — no new experiments start, in-flight captures
+// return early — and RunCtx returns only after every worker has joined, so
+// no experiment goroutine outlives the call.
+func RunCtx(ctx context.Context, name string, sz Sizes, seed int64, w io.Writer) error {
 	if name == "all" {
 		names := Names()
 		bufs := make([]bytes.Buffer, len(names))
 		errs := make([]error, len(names))
 		g := parallel.NewGroup(0)
-		g.Go(func() error {
+		g.GoCtx(ctx, func() error {
 			for i, n := range names {
 				if ganBacked[n] {
-					errs[i] = Registry[n](sz, seed, &bufs[i])
+					errs[i] = Registry[n](ctx, sz, seed, &bufs[i])
 				}
 			}
 			return nil
@@ -149,12 +182,16 @@ func Run(name string, sz Sizes, seed int64, w io.Writer) error {
 				continue
 			}
 			i, n := i, n
-			g.Go(func() error {
-				errs[i] = Registry[n](sz, seed, &bufs[i])
+			g.GoCtx(ctx, func() error {
+				errs[i] = Registry[n](ctx, sz, seed, &bufs[i])
 				return nil
 			})
 		}
-		g.Wait()
+		// Wait joins every worker; its error surfaces tasks the pool skipped
+		// because ctx was already done.
+		if err := g.Wait(); err != nil {
+			return err
+		}
 		for i, n := range names {
 			if errs[i] != nil {
 				return fmt.Errorf("%s: %w", n, errs[i])
@@ -171,5 +208,5 @@ func Run(name string, sz Sizes, seed int64, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (have %v)", name, Names())
 	}
-	return r(sz, seed, w)
+	return r(ctx, sz, seed, w)
 }

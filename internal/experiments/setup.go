@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 
@@ -119,13 +120,23 @@ type GhostMeasurement struct {
 // environment's radar, captures frames over the session, and matches each
 // frame's detections against the expected ghost position.
 func (e *Env) MeasureGhost(traj geom.Trajectory, fs float64, rng *rand.Rand) (GhostMeasurement, error) {
+	return e.MeasureGhostCtx(nil, traj, fs, rng)
+}
+
+// MeasureGhostCtx is MeasureGhost with cooperative cancellation: the frame
+// capture stops and ctx.Err() is returned once ctx is done. A nil ctx never
+// cancels.
+func (e *Env) MeasureGhostCtx(ctx context.Context, traj geom.Trajectory, fs float64, rng *rand.Rand) (GhostMeasurement, error) {
 	var out GhostMeasurement
 	rec, err := e.Ctl.ProgramForRadar(traj, e.Scene.Radar, fs, 0)
 	if err != nil {
 		return out, err
 	}
 	nFrames := int(float64(len(traj)-1)/fs*e.Scene.Params.FrameRate) + 1
-	frames := e.Scene.Capture(0, nFrames, rng)
+	frames, err := e.Scene.CaptureCtx(ctx, 0, nFrames, rng)
+	if err != nil {
+		return out, err
+	}
 	pr := radar.NewProcessor(radar.DefaultConfig())
 	detSeq := pr.ProcessFrames(frames, e.Scene.Radar)
 	expect := rec.ExpectedObservation(e.Tag.Config(), e.Scene.Radar)

@@ -1,0 +1,63 @@
+package fmcw
+
+// Window is a bounded sliding window of the last K frames, held in a ring
+// buffer — the multi-frame generalization of Differencer's one-frame
+// history. Push evicts the oldest frame once the window is full, so a
+// consumer that feeds every capture frame through a Window holds exactly K
+// frames regardless of capture length. It is the bounded-memory substrate
+// for sliding-window stages (range–Doppler bursts, multi-frame smoothing).
+type Window struct {
+	buf  []*Frame
+	head int // next write position
+	n    int // frames currently held, <= len(buf)
+}
+
+// NewWindow returns an empty window of capacity k (k < 1 is treated as 1).
+func NewWindow(k int) *Window {
+	if k < 1 {
+		k = 1
+	}
+	return &Window{buf: make([]*Frame, k)}
+}
+
+// Push appends a frame, evicting the oldest once the window is full.
+func (w *Window) Push(f *Frame) {
+	w.buf[w.head] = f
+	w.head = (w.head + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// Len returns the number of frames currently held.
+func (w *Window) Len() int { return w.n }
+
+// Cap returns the window capacity K.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Full reports whether the window holds K frames.
+func (w *Window) Full() bool { return w.n == len(w.buf) }
+
+// Frames appends the held frames to dst in arrival order (oldest first) and
+// returns the result — the scratch-reusing accessor for per-frame sliding
+// windows, so a stage that calls Frames(scratch[:0]) every frame allocates
+// nothing in steady state. The returned slice aliases the window's frames;
+// it is invalidated by the next Push.
+func (w *Window) Frames(dst []*Frame) []*Frame {
+	start := w.head - w.n
+	if start < 0 {
+		start += len(w.buf)
+	}
+	for i := 0; i < w.n; i++ {
+		dst = append(dst, w.buf[(start+i)%len(w.buf)])
+	}
+	return dst
+}
+
+// Reset empties the window and drops the held frames.
+func (w *Window) Reset() {
+	for i := range w.buf {
+		w.buf[i] = nil
+	}
+	w.head, w.n = 0, 0
+}

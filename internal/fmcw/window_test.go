@@ -1,0 +1,76 @@
+package fmcw
+
+import "testing"
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(3)
+	if w.Cap() != 3 || w.Len() != 0 || w.Full() {
+		t.Fatalf("fresh window: cap %d len %d full %v", w.Cap(), w.Len(), w.Full())
+	}
+	p := DefaultParams()
+	mk := func(at float64) *Frame { return NewFrame(p, at) }
+	w.Push(mk(0))
+	w.Push(mk(1))
+	if w.Full() {
+		t.Fatal("window full after 2 of 3 frames")
+	}
+	w.Push(mk(2))
+	if !w.Full() || w.Len() != 3 {
+		t.Fatal("window should be full after 3 frames")
+	}
+	// Sliding: push two more, the two oldest are evicted.
+	w.Push(mk(3))
+	w.Push(mk(4))
+	got := w.Frames(nil)
+	if len(got) != 3 {
+		t.Fatalf("Frames returned %d frames, want 3", len(got))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if got[i].Time != want {
+			t.Fatalf("frame %d time %v, want %v (oldest-first order)", i, got[i].Time, want)
+		}
+	}
+}
+
+func TestWindowFramesReusesScratch(t *testing.T) {
+	w := NewWindow(4)
+	p := DefaultParams()
+	for i := 0; i < 6; i++ {
+		w.Push(NewFrame(p, float64(i)))
+	}
+	scratch := make([]*Frame, 0, 4)
+	out := w.Frames(scratch)
+	if &out[0] != &scratch[:1][0] {
+		t.Fatal("Frames did not append into the provided scratch slice")
+	}
+	for i, want := range []float64{2, 3, 4, 5} {
+		if out[i].Time != want {
+			t.Fatalf("frame %d time %v, want %v", i, out[i].Time, want)
+		}
+	}
+}
+
+func TestWindowPartialAndReset(t *testing.T) {
+	w := NewWindow(5)
+	p := DefaultParams()
+	w.Push(NewFrame(p, 7))
+	w.Push(NewFrame(p, 8))
+	got := w.Frames(nil)
+	if len(got) != 2 || got[0].Time != 7 || got[1].Time != 8 {
+		t.Fatalf("partial window frames %v", got)
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Full() {
+		t.Fatal("Reset did not empty the window")
+	}
+	if got := w.Frames(nil); len(got) != 0 {
+		t.Fatalf("frames after Reset: %d", len(got))
+	}
+	// Degenerate capacity is clamped to 1.
+	one := NewWindow(0)
+	one.Push(NewFrame(p, 1))
+	one.Push(NewFrame(p, 2))
+	if got := one.Frames(nil); len(got) != 1 || got[0].Time != 2 {
+		t.Fatalf("capacity-1 window holds %v", got)
+	}
+}

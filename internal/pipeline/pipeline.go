@@ -55,6 +55,9 @@ type Item struct {
 	Profile    *radar.Profile
 	Detections []radar.Detection
 	HasDets    bool // Detections is valid (maybe empty): frame produced a detection set
+	// RangeDoppler is the sliding-window range–Doppler map ending at this
+	// frame (nil until DopplerStage's window fills).
+	RangeDoppler *radar.RangeDopplerMap
 }
 
 // Stage is one processing step applied to every item in stream order.

@@ -84,11 +84,54 @@ func FrontEndStages(pr *radar.Processor, array fmcw.Array) []Stage {
 	return []Stage{NewBackgroundSubtract(), NewRangeAngle(pr), NewPeakExtract(pr, array)}
 }
 
+// DopplerStage computes a sliding-window range–Doppler map over the last K
+// raw frames: a K-frame ring buffer (fmcw.Window) feeds per-range-bin
+// slow-time FFTs through the cached dsp plans, and once the window is full
+// every frame carries the map ending at it (it.RangeDoppler). The slow-time
+// sampling interval is the frame interval 1/FrameRate, so the unambiguous
+// velocity band is ±λ·FrameRate/4 — faster radial motion aliases, exactly
+// as it would for a real chirp-coherent processor at that frame rate.
+type DopplerStage struct {
+	pr      *radar.Processor
+	win     *fmcw.Window
+	antenna int
+	burst   []*fmcw.Frame // scratch reused every frame
+}
+
+// NewDoppler returns a Doppler stage with a K-frame window observing the
+// given antenna (window < 2 is treated as 2 — one frame has no slow time).
+func NewDoppler(pr *radar.Processor, window, antenna int) *DopplerStage {
+	if window < 2 {
+		window = 2
+	}
+	return &DopplerStage{pr: pr, win: fmcw.NewWindow(window), antenna: antenna}
+}
+
+func (s *DopplerStage) Name() string { return "range-doppler" }
+
+func (s *DopplerStage) Process(ctx context.Context, it *Item) error {
+	s.win.Push(it.Frame)
+	if !s.win.Full() {
+		return nil
+	}
+	s.burst = s.win.Frames(s.burst[:0])
+	m, err := s.pr.RangeDopplerCtx(ctx, s.burst, s.antenna, 1/it.Frame.Params.FrameRate)
+	if err != nil {
+		return err
+	}
+	it.RangeDoppler = m
+	return nil
+}
+
 // TrackStage feeds each frame's detections into a multi-target tracker,
 // exactly as radar.TrackDetections does in batch: empty detection sets are
-// skipped, times come from the detections.
+// skipped, times come from the detections. Built with NewTrackWithVelocity
+// it additionally stamps active tracks with radial velocities from the
+// frame's range–Doppler map whenever one is present.
 type TrackStage struct {
-	tr *radar.Tracker
+	tr       *radar.Tracker
+	array    fmcw.Array
+	velocity bool
 }
 
 // NewTrack returns a tracking stage over a fresh tracker (zero-valued
@@ -97,13 +140,23 @@ func NewTrack(cfg radar.TrackerConfig) *TrackStage {
 	return &TrackStage{tr: radar.NewTracker(cfg)}
 }
 
+// NewTrackWithVelocity is NewTrack plus per-track radial-velocity
+// estimation: items carrying a RangeDoppler map (from a DopplerStage
+// earlier in the chain) update every active track's RadialVelocity through
+// the given array geometry.
+func NewTrackWithVelocity(cfg radar.TrackerConfig, array fmcw.Array) *TrackStage {
+	return &TrackStage{tr: radar.NewTracker(cfg), array: array, velocity: true}
+}
+
 func (s *TrackStage) Name() string { return "track" }
 
 func (s *TrackStage) Process(ctx context.Context, it *Item) error {
-	if !it.HasDets || len(it.Detections) == 0 {
-		return nil
+	if it.HasDets && len(it.Detections) > 0 {
+		s.tr.Observe(it.Detections[0].Time, it.Detections)
 	}
-	s.tr.Observe(it.Detections[0].Time, it.Detections)
+	if s.velocity && it.RangeDoppler != nil {
+		s.tr.AttachVelocities(it.RangeDoppler, s.array)
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package radar
 
 import (
+	"context"
 	"math"
 
 	"rfprotect/internal/dsp"
@@ -52,6 +53,12 @@ func (m *RangeDopplerMap) RangeOfBin(r float64) float64 {
 	return m.Params.DistanceForBeat(beat)
 }
 
+// BinOfRange inverts RangeOfBin (the result may be fractional).
+func (m *RangeDopplerMap) BinOfRange(rangeM float64) float64 {
+	n := m.Params.SamplesPerChirp()
+	return m.Params.BeatFrequency(rangeM) / m.Params.SampleRate * float64(n)
+}
+
 // At returns the power at (range bin, shifted Doppler bin).
 func (m *RangeDopplerMap) At(r, d int) float64 { return m.Power[r*m.DopplerBins+d] }
 
@@ -63,8 +70,19 @@ func (m *RangeDopplerMap) MaxUnambiguousVelocity() float64 {
 // RangeDoppler computes the range–Doppler map of a chirp burst on one
 // antenna. chirps must share parameters and be uniformly spaced by pri.
 func (pr *Processor) RangeDoppler(chirps []*fmcw.Frame, antenna int, pri float64) *RangeDopplerMap {
+	m, _ := pr.RangeDopplerCtx(nil, chirps, antenna, pri)
+	return m
+}
+
+// RangeDopplerCtx is RangeDoppler with cooperative cancellation threaded
+// into the range-FFT batch and the per-range-bin slow-time fan-out; it
+// returns (nil, ctx.Err()) once ctx is done. A nil ctx is exactly
+// RangeDoppler. The map is bit-identical for any worker count: each chirp's
+// range FFT and each range bin's Doppler column are independent work items
+// writing disjoint destinations through the cached dsp plans.
+func (pr *Processor) RangeDopplerCtx(ctx context.Context, chirps []*fmcw.Frame, antenna int, pri float64) (*RangeDopplerMap, error) {
 	if len(chirps) == 0 {
-		return &RangeDopplerMap{}
+		return &RangeDopplerMap{}, nil
 	}
 	p := chirps[0].Params
 	n := p.SamplesPerChirp()
@@ -74,18 +92,25 @@ func (pr *Processor) RangeDoppler(chirps []*fmcw.Frame, antenna int, pri float64
 	win := pr.cfg.Window.Coefficients(n)
 	maxBin := pr.maxRangeBin(p, n)
 	nd := len(chirps)
-	// Range FFT per chirp.
+	// Windowed range FFT per chirp, transformed as a concurrent batch.
 	spectra := make([][]complex128, nd)
 	for k, f := range chirps {
 		x := make([]complex128, n)
 		for i, v := range f.Data[antenna] {
 			x[i] = v * complex(win[i], 0)
 		}
-		dsp.FFTInPlace(x)
 		spectra[k] = x
 	}
-	// Doppler FFT per range bin, fftshifted.
+	if err := dsp.FFTEachCtx(ctx, spectra, 0); err != nil {
+		return nil, err
+	}
+	// Slow-time FFT per range bin (Hann along chirps), then fftshift and
+	// power detection per bin.
 	dwin := dsp.Hann.Coefficients(nd)
+	cols, err := dsp.SlowTimeFFT(ctx, spectra, maxBin, dwin, 0)
+	if err != nil {
+		return nil, err
+	}
 	out := &RangeDopplerMap{
 		Params:      p,
 		PRI:         pri,
@@ -93,19 +118,50 @@ func (pr *Processor) RangeDoppler(chirps []*fmcw.Frame, antenna int, pri float64
 		DopplerBins: nd,
 		Power:       make([]float64, maxBin*nd),
 	}
-	col := make([]complex128, nd)
 	for r := 0; r < maxBin; r++ {
-		for k := 0; k < nd; k++ {
-			col[k] = spectra[k][r] * complex(dwin[k], 0)
-		}
-		dsp.FFTInPlace(col)
-		shifted := dsp.FFTShift(col)
+		shifted := dsp.FFTShift(cols[r])
 		row := out.Power[r*nd : (r+1)*nd]
 		for d, v := range shifted {
 			row[d] = real(v)*real(v) + imag(v)*imag(v)
 		}
 	}
-	return out
+	return out, nil
+}
+
+// PeakVelocityAtRange extracts the dominant Doppler peak in the range rows
+// within ±search bins of the given range and returns its sub-bin
+// interpolated radial velocity and power. It reports ok == false when the
+// range falls outside the map or the searched rows hold no power — the
+// per-track velocity primitive behind Tracker.AttachVelocities.
+func (m *RangeDopplerMap) PeakVelocityAtRange(rangeM float64, search int) (velocity, power float64, ok bool) {
+	if m.RangeBins == 0 || m.DopplerBins == 0 {
+		return 0, 0, false
+	}
+	r0 := int(math.Round(m.BinOfRange(rangeM)))
+	if r0 < 0 || r0 >= m.RangeBins {
+		return 0, 0, false
+	}
+	if search < 0 {
+		search = 0
+	}
+	bestR, bestD, bestP := -1, -1, 0.0
+	for r := r0 - search; r <= r0+search; r++ {
+		if r < 0 || r >= m.RangeBins {
+			continue
+		}
+		row := m.Power[r*m.DopplerBins : (r+1)*m.DopplerBins]
+		for d, v := range row {
+			if v > bestP {
+				bestR, bestD, bestP = r, d, v
+			}
+		}
+	}
+	if bestR < 0 || bestP == 0 {
+		return 0, 0, false
+	}
+	row := m.Power[bestR*m.DopplerBins : (bestR+1)*m.DopplerBins]
+	dOff := dsp.QuadraticInterp(row, bestD)
+	return m.VelocityOfBin(float64(bestD) + dOff), bestP, true
 }
 
 // RejectStatic zeroes the zero-Doppler ridge (±guard bins) in place,

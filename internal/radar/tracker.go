@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"rfprotect/internal/dsp"
+	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
 )
 
@@ -19,6 +20,15 @@ type Track struct {
 	ID        int
 	Points    []TimedPoint
 	Confirmed bool
+
+	// RadialVelocity is the latest Doppler-derived radial velocity estimate
+	// in m/s (positive = approaching the radar), valid when HasVelocity is
+	// set. It is attached by Tracker.AttachVelocities from a sliding-window
+	// range–Doppler map; note the estimate is folded into the map's
+	// unambiguous band (±MaxUnambiguousVelocity), so fast targets observed
+	// at a low frame rate alias.
+	RadialVelocity float64
+	HasVelocity    bool
 
 	kf       *Kalman
 	hits     int
@@ -186,6 +196,28 @@ func (tr *Tracker) Observe(t float64, detections []Detection) {
 		tr.nextID++
 		trk.Points = append(trk.Points, TimedPoint{Time: t, Pos: det.Pos})
 		tr.active = append(tr.active, trk)
+	}
+}
+
+// AttachVelocities stamps every active track with the radial velocity of
+// the dominant Doppler peak near the track's current range (±1 range bin),
+// read from a range–Doppler map through the array geometry. Tracks whose
+// range rows hold no power keep their previous estimate. Call it whenever a
+// fresh sliding-window map is available — the streaming pipeline's
+// velocity-aware TrackStage does this once per frame.
+func (tr *Tracker) AttachVelocities(m *RangeDopplerMap, array fmcw.Array) {
+	if m == nil {
+		return
+	}
+	for _, trk := range tr.active {
+		if len(trk.Points) == 0 {
+			continue
+		}
+		r := array.DistanceOf(trk.Points[len(trk.Points)-1].Pos)
+		if v, _, ok := m.PeakVelocityAtRange(r, 1); ok {
+			trk.RadialVelocity = v
+			trk.HasVelocity = true
+		}
 	}
 }
 
