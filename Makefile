@@ -14,12 +14,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Formatting + static-analysis gate: fails when any file needs gofmt or go
-# vet reports a problem. (Plain stdlib tooling — no external linters.)
+# Formatting + static-analysis gate: fails when any file needs gofmt, go
+# vet reports a problem, or the repo-specific invariant suite (cmd/rfvet:
+# seedsplit, ctxflow, goroleak, wallclock — see DESIGN.md "Static
+# analysis") finds a violation. (Plain stdlib tooling — no external
+# linters; rfvet is built from this repo.)
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/rfvet ./...
 
 test:
 	$(GO) test ./...
@@ -42,10 +46,13 @@ bench-json:
 	$(GO) run ./cmd/bench -out BENCH_pipeline.json
 
 # Per-package statement coverage with a hard floor: each package in
-# COVER_PKGS must individually clear COVER_MIN%.
+# COVER_PKGS must individually clear COVER_MIN%. A failing test run prints
+# its full go test output so CI coverage failures are diagnosable from the
+# log instead of dying behind a swallowed redirect.
 cover:
 	@for pkg in $(COVER_PKGS); do \
-		$(GO) test -coverprofile=cover.out $$pkg >/dev/null || exit 1; \
+		out=$$($(GO) test -coverprofile=cover.out $$pkg 2>&1) || { \
+			echo "$$out"; echo "cover: go test failed in $$pkg"; exit 1; }; \
 		pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 		rm -f cover.out; \
 		echo "$$pkg coverage: $$pct% (floor $(COVER_MIN)%)"; \

@@ -1,0 +1,59 @@
+// Command rfvet is the repo's invariant multichecker: it runs the four
+// custom analyzers of internal/analysis — seedsplit, ctxflow, goroleak,
+// wallclock — over the given package patterns and exits non-zero if any
+// diagnostic survives the //rfvet:allow escape hatches. `make lint` and CI
+// run it over ./... so every violation of the determinism, context-flow,
+// and goroutine-hygiene contracts fails the build.
+//
+// Usage:
+//
+//	rfvet [-seedsplit=false] [-ctxflow=false] [-goroleak=false] [-wallclock=false] [patterns]
+//
+// Patterns default to ./... and follow the go tool's shape: ./... for the
+// whole module, dir/... for a subtree, or a single package directory.
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfprotect/internal/analysis"
+)
+
+func main() {
+	enabled := map[string]*bool{}
+	for _, a := range analysis.All() {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	flag.Parse()
+
+	var run []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfvet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Vet(cwd, run, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rfvet: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rfprotect/internal/analysis"
+)
+
+// TestSmokeKnownBadModule runs the full suite over the known-bad fixture
+// module through the same entry point main wraps, and asserts each
+// analyzer fires exactly once.
+func TestSmokeKnownBadModule(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "badmodule"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Vet(dir, analysis.All(), []string{"./..."})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	for _, a := range analysis.All() {
+		if counts[a.Name] != 1 {
+			t.Errorf("analyzer %s fired %d times on the bad module, want exactly 1", a.Name, counts[a.Name])
+		}
+	}
+	if len(diags) != len(analysis.All()) {
+		t.Errorf("got %d diagnostics, want %d:\n%v", len(diags), len(analysis.All()), diags)
+	}
+}
+
+// TestSmokeBinary builds and runs the actual rfvet binary over the fixture
+// module: the multichecker must exit 1 and report each analyzer once.
+func TestSmokeBinary(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	cmd := exec.Command(goTool, "run", ".", filepath.Join("testdata", "badmodule")+"/...")
+	out, err := cmd.CombinedOutput()
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok || exitErr.ExitCode() != 1 {
+		t.Fatalf("go run . over bad module: err = %v, want exit status 1; output:\n%s", err, out)
+	}
+	for _, a := range analysis.All() {
+		tag := fmt.Sprintf("[%s]", a.Name)
+		if n := strings.Count(string(out), tag); n != 1 {
+			t.Errorf("output mentions %s %d times, want exactly 1; output:\n%s", tag, n, out)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package bad is the known-bad smoke fixture for cmd/rfvet: a library
+// package that violates each of the four invariants exactly once, so the
+// smoke test can assert that every analyzer fires — and fires once.
+package bad
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Process trips seedsplit (ad-hoc seed arithmetic), goroleak (unjoined
+// goroutine), ctxflow (synthesized root in library code), and wallclock
+// (clock read) — one diagnostic each.
+func Process(seed int64) time.Time {
+	go fill(rand.New(rand.NewSource(seed + 1)))
+	_ = work(context.Background())
+	return time.Now()
+}
+
+// fill burns a draw so the goroutine has a body.
+func fill(r *rand.Rand) { r.Int63() }
+
+// work is a context-accepting leaf.
+func work(ctx context.Context) error { return ctx.Err() }

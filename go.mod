@@ -1,3 +1,10 @@
 module rfprotect
 
 go 1.22
+
+// No requirements — the module is deliberately dependency-free (DESIGN.md
+// "Concurrency model"). In particular, cmd/rfvet and internal/analysis do
+// NOT pull in golang.org/x/tools: the narrow go/analysis + analysistest
+// surface the invariant suite needs is reimplemented on the standard
+// library's go/ast + go/types in internal/analysis, so swapping to the
+// real x/tools multichecker later is an import change, not a rewrite.

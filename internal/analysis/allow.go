@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowMarker introduces an escape-hatch comment. The grammar is
+//
+//	//rfvet:allow <analyzer> [<analyzer>...] [-- <justification>]
+//
+// The analyzer list names which checks are suppressed ("all" suppresses
+// every analyzer); everything after "--" is a free-form justification and
+// is ignored by the machine but required by review convention. Scope:
+//
+//   - a trailing comment suppresses its own source line;
+//   - a comment on its own line also suppresses the line below it;
+//   - a comment inside a declaration's doc comment suppresses the whole
+//     declaration (the canonical form for functions like PacedSource.Next
+//     whose entire body legitimately touches the wall clock).
+const allowMarker = "//rfvet:allow"
+
+// lineRange is an inclusive range of lines within one file.
+type lineRange struct{ from, to int }
+
+// allowSet indexes the //rfvet:allow comments of one package:
+// filename -> analyzer name -> suppressed line ranges.
+type allowSet map[string]map[string][]lineRange
+
+// allows reports whether a diagnostic from the named analyzer at pos is
+// suppressed.
+func (s allowSet) allows(analyzer string, pos token.Position) bool {
+	byName := s[pos.Filename]
+	for _, name := range []string{analyzer, "all"} {
+		for _, r := range byName[name] {
+			if pos.Line >= r.from && pos.Line <= r.to {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseAllow extracts the analyzer names from one comment's text, or nil
+// if the comment is not an allow marker.
+func parseAllow(text string) []string {
+	if !strings.HasPrefix(text, allowMarker) {
+		return nil
+	}
+	rest := strings.TrimPrefix(text, allowMarker)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil // e.g. //rfvet:allowother
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.Fields(rest)
+}
+
+// collectAllows builds the allowSet for a package's files.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	add := func(file string, names []string, r lineRange) {
+		byName := set[file]
+		if byName == nil {
+			byName = map[string][]lineRange{}
+			set[file] = byName
+		}
+		for _, n := range names {
+			byName[n] = append(byName[n], r)
+		}
+	}
+	for _, f := range files {
+		// Doc comments widen the scope to the whole declaration.
+		docRange := map[*ast.CommentGroup]lineRange{}
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docRange[doc] = lineRange{
+					from: fset.Position(decl.Pos()).Line,
+					to:   fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if names == nil {
+					continue
+				}
+				file := fset.Position(c.Pos()).Filename
+				line := fset.Position(c.Pos()).Line
+				add(file, names, lineRange{from: line, to: line + 1})
+				if r, ok := docRange[cg]; ok {
+					add(file, names, r)
+				}
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//rfvet:allow wallclock", []string{"wallclock"}},
+		{"//rfvet:allow wallclock ctxflow -- pacing wrapper", []string{"wallclock", "ctxflow"}},
+		{"//rfvet:allow all -- whole file of exceptions", []string{"all"}},
+		{"//rfvet:allow", []string{}},
+		{"//rfvet:allowother", nil},
+		{"// ordinary comment", nil},
+		{"//rfvet:deny wallclock", nil},
+	}
+	for _, c := range cases {
+		got := parseAllow(c.text)
+		if len(got) == 0 && len(c.want) == 0 {
+			if (got == nil) != (c.want == nil) {
+				t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestAllowScopes(t *testing.T) {
+	src := `package p
+
+// doc comment for f.
+//
+//rfvet:allow wallclock -- whole function is pacing
+func f() {
+	x := 1
+	_ = x
+}
+
+func g() {
+	//rfvet:allow ctxflow -- next line only
+	y := 2
+	z := 3 //rfvet:allow goroleak -- same line
+	_, _ = y, z
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := collectAllows(fset, []*ast.File{file})
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	// Doc annotation covers the whole declaration of f (lines 6-9).
+	for _, line := range []int{6, 7, 8, 9} {
+		if !set.allows("wallclock", at(line)) {
+			t.Errorf("wallclock not allowed at line %d inside f", line)
+		}
+	}
+	if set.allows("wallclock", at(11)) {
+		t.Error("wallclock allowed outside f")
+	}
+	// Standalone comment covers its own and the next line.
+	if !set.allows("ctxflow", at(13)) {
+		t.Error("ctxflow not allowed on the line after the comment")
+	}
+	if set.allows("ctxflow", at(14)) {
+		t.Error("ctxflow leaked past the next line")
+	}
+	// Trailing comment covers its line.
+	if !set.allows("goroleak", at(14)) {
+		t.Error("goroleak not allowed on its own line")
+	}
+	// Unlisted analyzers stay active.
+	if set.allows("seedsplit", at(14)) {
+		t.Error("seedsplit suppressed without being named")
+	}
+}

@@ -1,0 +1,141 @@
+// Package analysis is rfvet's engine: a small, self-contained clone of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// built entirely on the standard library's go/ast + go/types, because this
+// module is dependency-free by policy (DESIGN.md "Concurrency model") and
+// the build environment is offline. The API mirrors x/tools deliberately,
+// so the analyzers would port to a real multichecker by changing imports.
+//
+// The package hosts four repo-specific analyzers that turn this codebase's
+// load-bearing conventions into compile-time gates:
+//
+//   - seedsplit: randomness must be reproducible for any worker count —
+//     no global math/rand source, no ad-hoc seed arithmetic in place of
+//     parallel.SplitSeed.
+//   - ctxflow: a function that receives a context must thread it, and
+//     must not synthesize context.Background()/TODO() outside main
+//     packages, tests, and annotated legacy wrappers.
+//   - goroleak: every `go` statement in a library package must have a
+//     visible join (WaitGroup/Group Wait, channel receive or range) in
+//     the function that spawned it.
+//   - wallclock: no wall-clock reads (time.Now, time.Sleep, ...) in
+//     deterministic library code.
+//
+// Any diagnostic can be suppressed at the source line with an escape
+// hatch comment — see allow.go for the grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one named invariant check, in the image of
+// x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rfvet:allow comments. It must be a single lower-case word.
+	Name string
+
+	// Doc is the one-paragraph description printed by `rfvet -help`.
+	Doc string
+
+	// Run applies the analyzer to one package and reports findings
+	// through the pass. It returns an error only for internal failures;
+	// invariant violations are diagnostics, not errors.
+	Run func(*Pass) error
+}
+
+// All returns the full rfvet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{SeedSplit, CtxFlow, GoroLeak, WallClock}
+}
+
+// Diagnostic is one reported violation, positioned in the loaded FileSet.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the file:line:col style go vet uses.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package, in the
+// image of x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// ModulePath is the analyzed module's path (e.g. "rfprotect"), so
+	// analyzers can distinguish first-party callees from the stdlib.
+	ModulePath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsMain reports whether the analyzed package is a command (package main).
+// The analyzers exempt commands from determinism rules: main wires flags,
+// signal handlers, and wall-clock UX; the library underneath stays pure.
+func (p *Pass) IsMain() bool { return p.Pkg.Name() == "main" }
+
+// Run applies every analyzer to every package, drops diagnostics the
+// source suppresses with //rfvet:allow comments, and returns the rest
+// sorted by position then analyzer name. It is the engine behind both
+// cmd/rfvet and the analysistest harness.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				ModulePath: pkg.ModulePath,
+				diags:      &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range raw {
+				if !allow.allows(a.Name, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

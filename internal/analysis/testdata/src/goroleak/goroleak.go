@@ -1,0 +1,48 @@
+// Package goroleak is the golden fixture for the goroleak analyzer:
+// unjoined spawns, the three visible join forms (WaitGroup Wait, channel
+// receive, channel range), a join hidden inside the spawned goroutine
+// (which does not count), and an annotated deliberate detach.
+package goroleak
+
+import "sync"
+
+// leak spawns with no join anywhere in the function.
+func leak() {
+	go func() {}() // want `no visible join`
+}
+
+// joined joins through a WaitGroup in the same function.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// channelJoin joins by receiving the goroutine's result.
+func channelJoin() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// rangeJoin joins by draining the goroutine's channel.
+func rangeJoin() (n int) {
+	ch := make(chan int, 1)
+	go func() { ch <- 1; close(ch) }()
+	for range ch {
+		n++
+	}
+	return n
+}
+
+// innerJoin does not count: the spawned goroutine waits on something, but
+// the spawner returns immediately.
+func innerJoin(ch chan int) {
+	go func() { <-ch }() // want `no visible join`
+}
+
+// detach documents a deliberate fire-and-forget.
+func detach() {
+	go func() {}() //rfvet:allow goroleak -- fixture: deliberate detach
+}

@@ -1,0 +1,37 @@
+// Package wallclock is the golden fixture for the wallclock analyzer:
+// clock reads and waits as positives, duration arithmetic as a negative,
+// and a doc-comment annotation covering a whole pacing function.
+package wallclock
+
+import "time"
+
+// now reads the clock.
+func now() time.Time {
+	return time.Now() // want `wall clock`
+}
+
+// sleep waits on the clock.
+func sleep() {
+	time.Sleep(time.Millisecond) // want `wall clock`
+}
+
+// ticker builds a clock-driven source.
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `wall clock`
+}
+
+// paced models pipeline.PacedSource: real-time pacing is the point, and
+// the annotation in the doc comment covers the whole function.
+//
+//rfvet:allow wallclock -- fixture: real-time pacing is the point
+func paced(interval time.Duration) time.Duration {
+	t := time.NewTimer(interval)
+	start := time.Now()
+	<-t.C
+	return time.Since(start)
+}
+
+// duration is pure arithmetic; no clock involved.
+func duration(frameRate float64) time.Duration {
+	return time.Duration(float64(time.Second) / frameRate)
+}

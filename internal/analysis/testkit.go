@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// TB is the subset of *testing.T the fixture harness needs; keeping the
+// dependency behind an interface keeps "testing" out of the production
+// import graph.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantRe extracts the patterns of a want comment; each may be double- or
+// back-quoted, in analysistest style: // want "re" `re`.
+var wantRe = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+// RunFixture is this module's analysistest.Run: it loads the fixture
+// package in dir, applies one analyzer, honors //rfvet:allow suppression,
+// and compares the surviving diagnostics against the fixture's
+// `// want "regexp"` comments — every diagnostic must match a want on its
+// line, and every want must be consumed. Fixture directories live under
+// testdata, so the go tool never builds them, but they must type-check:
+// the loader resolves their imports (including rfprotect/... ones) from
+// source.
+func RunFixture(t TB, dir string, a *Analyzer) {
+	t.Helper()
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in fixture %s", dir)
+	}
+	diags, err := Run([]*Analyzer{a}, []*Package{pkg})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{file: pos.Filename, line: pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(text[i:], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posString(pos), pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := wantKey{file: d.Pos.Filename, line: d.Pos.Line}
+		matched := false
+		for i, re := range wants[key] {
+			if re.MatchString(d.Message) {
+				wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, re)
+		}
+	}
+}
+
+// posString renders a token.Position without the column.
+func posString(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

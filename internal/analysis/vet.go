@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Vet resolves package patterns against dir (typically the working
+// directory of cmd/rfvet), loads and type-checks the matched packages, and
+// runs the analyzers over them. Supported patterns: "./..." for every
+// package of the enclosing module, "<path>/..." for every package of the
+// module containing <path> that lives under it, and a plain directory for
+// a single package. Loaders are shared per module, so a whole-repo run
+// type-checks each package (and the stdlib) once.
+func Vet(dir string, analyzers []*Analyzer, patterns []string) ([]Diagnostic, error) {
+	loaders := map[string]*Loader{}
+	loaderFor := func(base string) (*Loader, error) {
+		l, err := NewLoader(base)
+		if err != nil {
+			return nil, err
+		}
+		if shared, ok := loaders[l.ModuleDir]; ok {
+			return shared, nil
+		}
+		loaders[l.ModuleDir] = l
+		return l, nil
+	}
+
+	seen := map[string]bool{}
+	var pkgs []*Package
+	add := func(list ...*Package) {
+		for _, p := range list {
+			if p != nil && !seen[p.Dir] {
+				seen[p.Dir] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	for _, pattern := range patterns {
+		base, recursive := strings.CutSuffix(pattern, "/...")
+		if pattern == "..." {
+			base, recursive = ".", true
+		}
+		if base == "" || base == "." {
+			base = dir
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		loader, err := loaderFor(base)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pattern, err)
+		}
+		if !recursive {
+			pkg, err := loader.LoadDir(base)
+			if err != nil {
+				return nil, fmt.Errorf("pattern %q: %w", pattern, err)
+			}
+			if pkg == nil {
+				return nil, fmt.Errorf("pattern %q: no Go files in %s", pattern, base)
+			}
+			add(pkg)
+			continue
+		}
+		all, err := loader.LoadPattern("./...")
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pattern, err)
+		}
+		absBase, err := filepath.Abs(base)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range all {
+			if p.Dir == absBase || strings.HasPrefix(p.Dir, absBase+string(filepath.Separator)) {
+				add(p)
+			}
+		}
+	}
+
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return Run(analyzers, pkgs)
+}

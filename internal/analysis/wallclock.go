@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallClock enforces the no-wall-clock contract behind reproducibility:
+// deterministic library code must not read or wait on real time. All
+// simulation time is explicit (frame timestamps, pri/frame-rate
+// parameters), so time.Now and friends appear only where pacing real
+// hardware or humans is the point — pipeline.PacedSource, annotated
+// //rfvet:allow wallclock — and in package main (benchmarks, CLI UX) and
+// tests, which are exempt.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "no time.Now/Sleep/Since/Until/After/Tick/NewTimer/NewTicker in " +
+		"deterministic library code; pacing code carries //rfvet:allow wallclock",
+	Run: runWallClock,
+}
+
+// wallClockFuncs are the time functions that read or wait on the real
+// clock. Pure construction and arithmetic (time.Duration, Date, Unix,
+// ParseDuration) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func runWallClock(p *Pass) error {
+	if p.IsMain() {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.TypesInfo, call)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+				wallClockFuncs[fn.Name()] && funcSig(fn).Recv() == nil {
+				p.Reportf(call.Pos(),
+					"time.%s reads the wall clock in deterministic library code; model time explicitly, or annotate //rfvet:allow wallclock where real-time pacing is the point",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"rfprotect/internal/geom"
 	"rfprotect/internal/metrics"
 	"rfprotect/internal/motion"
+	"rfprotect/internal/parallel"
 	"rfprotect/internal/radar"
 	"rfprotect/internal/reflector"
 	"rfprotect/internal/scene"
@@ -55,7 +56,7 @@ func AblationCtx(ctx context.Context, seed int64) (AblationResult, error) {
 		if !speckle {
 			room.Speckle = 0
 		}
-		rng := rand.New(rand.NewSource(seed + 1))
+		rng := rand.New(rand.NewSource(parallel.SplitSeed(seed, 1)))
 		var errs metrics.SpoofErrors
 		for i := 0; i < 5; i++ {
 			env, err := NewEnv(room, params)
@@ -96,7 +97,7 @@ func AblationCtx(ctx context.Context, seed int64) (AblationResult, error) {
 		if _, err := ctl.ProgramForRadar(traj, sc.Radar, 0.5, 0); err != nil {
 			return res, err
 		}
-		rng := rand.New(rand.NewSource(seed + 2))
+		rng := rand.New(rand.NewSource(parallel.SplitSeed(seed, 2)))
 		frames, err := sc.CaptureCtx(ctx, 0, 20, rng)
 		if err != nil {
 			return res, err

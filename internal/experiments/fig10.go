@@ -49,10 +49,20 @@ func Fig10Ctx(ctx context.Context, sz Sizes, seed int64) (Fig10Result, error) {
 		sc := scene.NewScene(scene.OfficeRoom(), params)
 		traj := geom.Trajectory{{X: 4, Y: 3.5}, {X: 4.4, Y: 3.9}}
 		sc.Humans = []*scene.Human{scene.NewHuman(traj, 1)}
-		f0 := sc.FrameAt(0, rng)
-		f1 := sc.FrameAt(0.3, rng)
+		f0, err := sc.FrameAtCtx(ctx, 0, rng)
+		if err != nil {
+			return res, err
+		}
+		f1, err := sc.FrameAtCtx(ctx, 0.3, rng)
+		if err != nil {
+			return res, err
+		}
 		pr := radar.NewProcessor(radar.DefaultConfig())
-		res.HumanProfile = pr.RangeAngle(radar.BackgroundSubtract(f1, f0))
+		prof, err := pr.RangeAngleCtx(ctx, radar.BackgroundSubtract(f1, f0))
+		if err != nil {
+			return res, err
+		}
+		res.HumanProfile = prof
 		res.HumanPeak = maxOf(res.HumanProfile.Power)
 	}
 
@@ -66,10 +76,20 @@ func Fig10Ctx(ctx context.Context, sz Sizes, seed int64) (Fig10Result, error) {
 		if _, err := env.Ctl.ProgramForRadar(traj, env.Scene.Radar, 1, 0); err != nil {
 			return res, err
 		}
-		f0 := env.Scene.FrameAt(0, rng)
-		f1 := env.Scene.FrameAt(0.3, rng)
+		f0, err := env.Scene.FrameAtCtx(ctx, 0, rng)
+		if err != nil {
+			return res, err
+		}
+		f1, err := env.Scene.FrameAtCtx(ctx, 0.3, rng)
+		if err != nil {
+			return res, err
+		}
 		pr := radar.NewProcessor(radar.DefaultConfig())
-		res.GhostProfile = pr.RangeAngle(radar.BackgroundSubtract(f1, f0))
+		prof, err := pr.RangeAngleCtx(ctx, radar.BackgroundSubtract(f1, f0))
+		if err != nil {
+			return res, err
+		}
+		res.GhostProfile = prof
 		res.GhostPeak = maxOf(res.GhostProfile.Power)
 	}
 

@@ -53,7 +53,7 @@ func Fig11Ctx(ctx context.Context, sz Sizes, seed int64) (Fig11Result, error) {
 	// Paired design: each room sees the same trajectories and anchors, so
 	// the home-vs-office difference isolates the environment.
 	gens := make([]geom.Trajectory, sz.TrajPerRoom)
-	genRng := rand.New(rand.NewSource(seed + 100))
+	genRng := rand.New(rand.NewSource(parallel.SplitSeed(seed, 100)))
 	for i := range gens {
 		gens[i] = tr.G.Generate(1, i%motion.NumClasses, genRng)[0]
 	}

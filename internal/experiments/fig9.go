@@ -60,7 +60,7 @@ func Fig9Ctx(ctx context.Context, seed int64) (Fig9Result, error) {
 			sc := scene.NewScene(scene.OfficeRoom(), params)
 			human := scene.NewHuman(sh.traj, params.FrameRate)
 			sc.Humans = []*scene.Human{human}
-			rng := rand.New(rand.NewSource(seed + int64(i)))
+			rng := rand.New(rand.NewSource(parallel.SplitSeed(seed, i)))
 			frames, err := sc.CaptureCtx(ctx, 0, len(sh.traj), rng)
 			if err != nil {
 				return err

@@ -90,7 +90,7 @@ func MultiRadarCtx(ctx context.Context, seed int64) (MultiRadarResult, error) {
 	g := parallel.NewGroup(0)
 	g.GoCtx(ctx, func() error {
 		var err error
-		framesA, err = scA.CaptureCtx(ctx, 0, n, rand.New(rand.NewSource(seed)))
+		framesA, err = scA.CaptureCtx(ctx, 0, n, rand.New(rand.NewSource(parallel.SplitSeed(seed, 0))))
 		if err != nil {
 			return err
 		}
@@ -98,7 +98,7 @@ func MultiRadarCtx(ctx context.Context, seed int64) (MultiRadarResult, error) {
 		return nil
 	})
 	g.GoCtx(ctx, func() error {
-		framesB, err := scB.CaptureCtx(ctx, 0, n, rand.New(rand.NewSource(seed+1)))
+		framesB, err := scB.CaptureCtx(ctx, 0, n, rand.New(rand.NewSource(parallel.SplitSeed(seed, 1))))
 		if err != nil {
 			return err
 		}

@@ -149,7 +149,7 @@ var ganBacked = map[string]bool{
 // Run executes one experiment by name, or all of them for name == "all",
 // with no cancellation. It is RunCtx with a background context.
 func Run(name string, sz Sizes, seed int64, w io.Writer) error {
-	return RunCtx(context.Background(), name, sz, seed, w)
+	return RunCtx(context.Background(), name, sz, seed, w) //rfvet:allow ctxflow -- legacy context-free entry point: the wrapper's whole job is to synthesize the root
 }
 
 // RunCtx executes one experiment by name, or all of them for name == "all",

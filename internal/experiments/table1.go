@@ -9,6 +9,7 @@ import (
 	"rfprotect/internal/geom"
 	"rfprotect/internal/metrics"
 	"rfprotect/internal/motion"
+	"rfprotect/internal/parallel"
 )
 
 // Table1Result is the user study of §11.2: judges label shuffled real and
@@ -32,8 +33,8 @@ type Table1Result struct {
 // distribution, the cue distributions overlap and judges land at chance.
 func Table1(sz Sizes, seed int64) Table1Result {
 	tr := TrainedGAN(sz, seed)
-	rng := rand.New(rand.NewSource(seed + 500))
-	real := motion.Generate(sz.Judges*5+10, seed+501).Traces
+	rng := rand.New(rand.NewSource(parallel.SplitSeed(seed, 500)))
+	real := motion.Generate(sz.Judges*5+10, parallel.SplitSeed(seed, 501)).Traces
 	fake := tr.Sample(sz.Judges*5 + 10)
 
 	res := Table1Result{Judges: sz.Judges, PerJudge: 10}

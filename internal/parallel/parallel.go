@@ -81,7 +81,7 @@ func ForEach(n, workers int, fn func(i int)) {
 // way — cancellation changes which indices run, never what an index computes.
 func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if ctx == nil {
-		ForEach(n, workers, fn)
+		ForEach(n, workers, fn) //rfvet:allow ctxflow -- nil-ctx fast path: there is no context to thread
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -145,6 +145,8 @@ func NewGroup(workers int) *Group {
 // Go schedules fn on the group, blocking while the pool is full. The first
 // non-nil error wins; later tasks still run to completion (callers write
 // results to disjoint slots and decide what to keep after Wait).
+//
+//rfvet:allow goroleak -- the Group is the joining primitive: every spawn is wg-counted here and joined by Group.Wait
 func (g *Group) Go(fn func() error) {
 	g.wg.Add(1)
 	g.sem <- struct{}{}
@@ -165,7 +167,7 @@ func (g *Group) Go(fn func() error) {
 // exactly like Go.
 func (g *Group) GoCtx(ctx context.Context, fn func() error) {
 	if ctx == nil {
-		g.Go(fn)
+		g.Go(fn) //rfvet:allow ctxflow -- nil-ctx fast path: there is no context to thread
 		return
 	}
 	if err := ctx.Err(); err != nil {

@@ -34,6 +34,8 @@ func NewPaced(src Source, frameRate float64) *PacedSource {
 // Next waits for the next frame slot, then pulls from the wrapped source.
 // A done ctx interrupts the wait and returns ctx.Err(); io.EOF passes
 // through when the wrapped source is exhausted.
+//
+//rfvet:allow wallclock -- real-time pacing is this type's purpose: the slot grid is anchored to the wall clock by design
 func (s *PacedSource) Next(ctx context.Context) (*fmcw.Frame, error) {
 	if s.interval > 0 && !s.next.IsZero() {
 		if wait := time.Until(s.next); wait > 0 {
