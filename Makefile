@@ -6,7 +6,7 @@ GO ?= go
 COVER_MIN ?= 80
 COVER_PKGS ?= ./internal/pipeline ./internal/dsp
 
-.PHONY: build vet lint test race short bench bench-json cover fuzz ci
+.PHONY: build vet lint test race short bench bench-go bench-json benchdiff cover fuzz ci
 
 build:
 	$(GO) build ./...
@@ -37,13 +37,26 @@ short:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# Regenerate the tracked performance snapshot (schema v2: ns/op plus
+# allocs/op and bytes/op per row). Run this after any deliberate
+# performance change so benchdiff gates against the new reality.
 bench:
+	$(GO) run ./cmd/bench -out BENCH_pipeline.json
+
+bench-json: bench
+
+# The go-test benchmark suite (paper figures + pipeline micro-benches).
+bench-go:
 	$(GO) test -bench=Pipeline -benchmem -run='^$$' .
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/fmcw ./internal/dsp
 
-# Refresh the tracked performance snapshot.
-bench-json:
-	$(GO) run ./cmd/bench -out BENCH_pipeline.json
+# Allocation/throughput regression gate: re-measure with short windows and
+# compare against the committed snapshot. ns/op gets a generous 4x ratio so
+# slow CI machines don't flake; allocs/op on the pooled single-worker rows
+# (allocs_exact) is compared exactly — one new allocation on the hot path
+# fails the build.
+benchdiff:
+	$(GO) run ./cmd/bench -quick -baseline BENCH_pipeline.json
 
 # Per-package statement coverage with a hard floor: each package in
 # COVER_PKGS must individually clear COVER_MIN%. A failing test run prints
@@ -65,4 +78,4 @@ cover:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStageComposition -fuzztime 10s ./internal/pipeline
 
-ci: lint build race cover fuzz
+ci: lint build race cover fuzz benchdiff

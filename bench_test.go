@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/cmplx"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -232,6 +233,31 @@ func BenchmarkPipelineRangeFFT(b *testing.B) {
 	}
 }
 
+// BenchmarkMagnitude measures the magnitude kernel both ways — the
+// historical cmplx.Abs formulation and the math.Hypot one dsp.Magnitude
+// now uses — over the radar's 512-bin spectrum shape. Same destination
+// buffer, zero allocations either way; the delta is pure per-element cost.
+func BenchmarkMagnitude(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 512)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	dst := make([]float64, len(x))
+	b.Run("hypot-512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dsp.MagnitudeTo(dst, x)
+		}
+	})
+	b.Run("cmplx-abs-512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k, v := range x {
+				dst[k] = cmplx.Abs(v)
+			}
+		}
+	})
+}
+
 // streamingSession builds the capture-and-track workload cmd/bench's
 // streaming section uses: a home with a programmed ghost.
 func streamingSession(b *testing.B) *core.Session {
@@ -267,6 +293,24 @@ func BenchmarkStreamingCaptureTrack(b *testing.B) {
 			stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
 			rng := rand.New(rand.NewSource(1))
 			if _, err := pipeline.New(sc.Stream(0, nFrames, rng), stages...).Run(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The pooled variant of the same chain: frames come from a FramePool,
+	// profiles from a ProfilePool, and the pipeline recycles both after an
+	// item's last stage. Detections and tracks are bit-identical (see
+	// internal/pipeline's pooled equivalence tests); -benchmem shows the
+	// allocs/op drop.
+	b.Run("streaming-pooled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := radar.NewProcessor(radar.DefaultConfig())
+			pools := pipeline.NewPools(sc.Params)
+			trk := pipeline.NewTrack(radar.TrackerConfig{})
+			stages := append(pipeline.FrontEndStagesPooled(pr, sc.Radar, pools), trk)
+			rng := rand.New(rand.NewSource(1))
+			src := sc.Stream(0, nFrames, rng).UsePool(pools.Frames)
+			if _, err := pipeline.New(src, stages...).UsePools(pools).Run(nil); err != nil {
 				b.Fatal(err)
 			}
 		}

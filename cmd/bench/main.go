@@ -1,18 +1,29 @@
 // Command bench measures the simulation stack's hot paths — frame
-// synthesis, FFTs, and one end-to-end experiment — and writes a JSON
-// snapshot so the performance trajectory can be tracked across PRs.
+// synthesis, FFTs, the pooled destination-passing kernels, and one
+// end-to-end experiment — and writes a JSON snapshot so the performance
+// trajectory can be tracked across PRs.
 //
 // Usage:
 //
 //	bench                      # full measurement, writes BENCH_pipeline.json
 //	bench -out out.json        # alternate output path
 //	bench -quick               # shorter runs for smoke-testing the harness
+//	bench -quick -baseline BENCH_pipeline.json
+//	                           # regression gate: re-measure and fail (exit 1)
+//	                           # when ns/op regresses beyond -max-ns-ratio or
+//	                           # an allocation-exact row gains an alloc/op
 //
 // Sequential numbers pin the worker pools to one worker; parallel numbers
 // use one worker per available CPU. Both paths produce bit-identical
 // frames (see internal/fmcw), so the speedup column is a pure cost
 // comparison. On a single-CPU machine the speedups sit near 1×; the
 // snapshot records cpus/gomaxprocs so readers can interpret the numbers.
+//
+// Schema v2 adds allocs_per_op / bytes_per_op to every row. Rows marked
+// allocs_exact are single-worker pooled steady states whose allocation
+// count is deterministic (the zero-allocation contract of the Into
+// kernels); -baseline compares those exactly, so a stray allocation on the
+// hot path fails CI even when the timing tolerance would hide it.
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/cmplx"
 	"math/rand"
 	"os"
 	"runtime"
@@ -31,27 +43,44 @@ import (
 	"rfprotect/internal/experiments"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
+	"rfprotect/internal/parallel"
 	"rfprotect/internal/pipeline"
 	"rfprotect/internal/radar"
 	"rfprotect/internal/scene"
 )
 
+// snapshotSchema is bumped whenever the JSON layout changes incompatibly;
+// -baseline refuses to compare across schemas.
+const snapshotSchema = 2
+
 // Result is one measured configuration.
 type Result struct {
-	Name    string  `json:"name"`
-	Workers int     `json:"workers"`
-	Iters   int     `json:"iters"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// AllocsExact marks rows whose allocation count is deterministic: a
+	// single-worker pooled steady state, where the Into kernels promise
+	// zero allocations per op. benchdiff compares these rows' allocs/op
+	// exactly (after rounding); other rows record allocations for
+	// visibility only.
+	AllocsExact bool `json:"allocs_exact,omitempty"`
 }
 
-// StreamResult is one capture-and-track run, streaming or batch, with its
-// throughput and retained-heap footprint.
+// StreamResult is one capture-and-track run — streaming, concurrent,
+// pooled, or batch — with its throughput, allocation rate, and
+// retained-heap footprint.
 type StreamResult struct {
-	Name          string  `json:"name"`
-	Frames        int     `json:"frames"`
-	NsPerFrame    float64 `json:"ns_per_frame"`
-	FramesPerSec  float64 `json:"frames_per_sec"`
-	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	Name           string  `json:"name"`
+	Frames         int     `json:"frames"`
+	Workers        int     `json:"workers"`
+	NsPerFrame     float64 `json:"ns_per_frame"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+	AllocsPerFrame float64 `json:"allocs_per_frame"`
+	BytesPerFrame  float64 `json:"bytes_per_frame"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
 }
 
 // Snapshot is the BENCH_pipeline.json schema.
@@ -66,22 +95,45 @@ type Snapshot struct {
 	Speedups   map[string]float64 `json:"speedups"`
 	// Streaming holds the streaming-vs-batch comparison at two capture
 	// lengths: the streaming rows' peak heap stays flat as frames grow,
-	// the batch rows' grows linearly.
+	// the batch rows' grows linearly, and the pooled rows' allocs/frame
+	// drop to the detection/tracking residue.
 	Streaming []StreamResult `json:"streaming,omitempty"`
 }
 
+// sample is one measurement: mean wall time and mean allocation cost per
+// call over the timed loop.
+type sample struct {
+	ns     float64
+	iters  int
+	allocs float64
+	bytes  float64
+}
+
 // measure runs fn repeatedly for at least minDur (after one warm-up call)
-// and returns the mean ns/op and iteration count.
-func measure(minDur time.Duration, fn func()) (float64, int) {
-	fn() // warm caches and FFT plans so the steady state is measured
+// and returns the mean ns/op plus the heap-allocation deltas per op, read
+// from runtime.MemStats around the timed loop. The warm-up call runs before
+// the first MemStats read, so one-time plan/scratch building never pollutes
+// the steady-state allocation count.
+func measure(minDur time.Duration, fn func()) sample {
+	fn() // warm caches, FFT plans, and kernel scratch
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	var iters int
+	var elapsed time.Duration
 	start := time.Now()
 	for {
 		fn()
 		iters++
-		if elapsed := time.Since(start); elapsed >= minDur && iters >= 3 {
-			return float64(elapsed.Nanoseconds()) / float64(iters), iters
+		if elapsed = time.Since(start); elapsed >= minDur && iters >= 3 {
+			break
 		}
+	}
+	runtime.ReadMemStats(&m1)
+	return sample{
+		ns:     float64(elapsed.Nanoseconds()) / float64(iters),
+		iters:  iters,
+		allocs: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		bytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
 	}
 }
 
@@ -89,6 +141,8 @@ func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output path (- for stdout)")
 	quick := flag.Bool("quick", false, "shorter measurement windows")
 	seed := flag.Int64("seed", 1, "random seed for synthetic workloads")
+	baseline := flag.String("baseline", "", "baseline snapshot to compare against; exit 1 on regression (no snapshot is written unless -out is given explicitly)")
+	nsRatio := flag.Float64("max-ns-ratio", 4, "with -baseline: fail when a row exceeds baseline ns/op times this ratio")
 	flag.Parse()
 
 	minDur := 2 * time.Second
@@ -96,119 +150,285 @@ func main() {
 		minDur = 200 * time.Millisecond
 	}
 
+	streamLens := []int{64, 256}
+	if *quick {
+		streamLens = []int{12, 36}
+	}
+	var base *Snapshot
+	if *baseline != "" {
+		b, err := loadSnapshot(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+		if b.Schema != snapshotSchema {
+			fmt.Fprintf(os.Stderr, "bench: baseline %s has schema %d, this binary writes schema %d — regenerate it with `make bench`\n",
+				*baseline, b.Schema, snapshotSchema)
+			os.Exit(2)
+		}
+		base = b
+		// Re-run the streaming section at the baseline's capture lengths so
+		// the rows line up even under -quick; ns/frame and allocs/frame are
+		// only comparable at equal frame counts.
+		if lens := baselineStreamLens(base); len(lens) > 0 {
+			streamLens = lens
+		}
+	}
+
+	snap := runSnapshot(minDur, *seed, streamLens, *quick)
+
+	if base != nil {
+		fails := compareSnapshots(base, &snap, *nsRatio)
+		if len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s) against %s:\n", len(fails), *baseline)
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "  FAIL:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: ok — %d result rows and %d streaming rows within tolerance of %s\n",
+			len(snap.Results), len(snap.Streaming), *baseline)
+	}
+
+	// In baseline mode the run is a gate, not a refresh: never overwrite the
+	// baseline by accident via -out's default. Write only when -out was
+	// given explicitly.
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+	if *baseline != "" && !outSet {
+		return
+	}
+	writeSnapshot(*out, &snap)
+}
+
+// runSnapshot performs every measurement and assembles the snapshot. Row
+// order is part of the de-facto schema: -baseline matches rows by position
+// (checking names), so new rows belong at stable points and a reorder means
+// regenerating the committed baseline.
+func runSnapshot(minDur time.Duration, seed int64, streamLens []int, quick bool) Snapshot {
 	snap := Snapshot{
-		Schema:     1,
+		Schema:     snapshotSchema,
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Quick:      *quick,
+		Quick:      quick,
 		Speedups:   map[string]float64{},
 	}
-	add := func(name string, workers int, ns float64, iters int) {
-		snap.Results = append(snap.Results, Result{Name: name, Workers: workers, Iters: iters, NsPerOp: ns})
-		fmt.Fprintf(os.Stderr, "%-36s workers=%-3d %12.0f ns/op  (%d iters)\n", name, workers, ns, iters)
+	add := func(name string, workers int, s sample, exact bool) {
+		snap.Results = append(snap.Results, Result{
+			Name: name, Workers: workers, Iters: s.iters,
+			NsPerOp: s.ns, AllocsPerOp: s.allocs, BytesPerOp: s.bytes,
+			AllocsExact: exact,
+		})
+		fmt.Fprintf(os.Stderr, "%-36s workers=%-3d %12.0f ns/op  %8.1f allocs/op  (%d iters)\n",
+			name, workers, s.ns, s.allocs, s.iters)
 	}
 
 	// Frame synthesis: the per-frame beat-signal accumulation that
 	// dominates every experiment. 64 returns ≈ a cluttered multipath room.
 	params := fmcw.DefaultParams()
-	returns := synthReturns(64, *seed)
-	rng := rand.New(rand.NewSource(*seed))
-	seqNs, seqIt := measure(minDur, func() { fmcw.SynthesizeWorkers(params, returns, 0, rng, 1) })
-	add("frame_synthesis", 1, seqNs, seqIt)
-	parNs, parIt := measure(minDur, func() { fmcw.SynthesizeWorkers(params, returns, 0, rng, 0) })
-	add("frame_synthesis", runtime.GOMAXPROCS(0), parNs, parIt)
-	snap.Speedups["frame_synthesis"] = seqNs / parNs
+	returns := synthReturns(64, seed)
+	rng := rand.New(rand.NewSource(seed))
+	seq := measure(minDur, func() { fmcw.SynthesizeWorkers(params, returns, 0, rng, 1) })
+	add("frame_synthesis", 1, seq, false)
+	par := measure(minDur, func() { fmcw.SynthesizeWorkers(params, returns, 0, rng, 0) })
+	add("frame_synthesis", runtime.GOMAXPROCS(0), par, false)
+	snap.Speedups["frame_synthesis"] = seq.ns / par.ns
+
+	// The same synthesis through the pooled destination-passing path: frame
+	// from a FramePool, SynthesizeInto, frame back to the pool. Bit-identical
+	// output (see internal/fmcw tests); steady state allocates nothing.
+	pool := fmcw.NewFramePool(params)
+	into := measure(minDur, func() {
+		f := pool.Get(0)
+		if err := fmcw.SynthesizeInto(nil, f, returns, rng, 1); err != nil {
+			fatal("synthesize-into", err)
+		}
+		pool.Put(f)
+	})
+	add("frame_synthesis_into_pooled", 1, into, true)
 
 	// Single 512-point range FFT, cached plan (steady state of the radar
-	// pipeline).
-	x := synthSignal(512, *seed)
+	// pipeline): in place over a copy, and through the FFTTo destination-
+	// passing variant. Both are allocation-free once the plan is cached.
+	x := synthSignal(512, seed)
 	buf := make([]complex128, len(x))
-	fftNs, fftIt := measure(minDur, func() {
+	fft := measure(minDur, func() {
 		copy(buf, x)
 		dsp.FFTInPlace(buf)
 	})
-	add("fft_512_cached_plan", 1, fftNs, fftIt)
+	add("fft_512_cached_plan", 1, fft, true)
+	fftTo := measure(minDur, func() { dsp.FFTTo(buf, x) })
+	add("fft_512_to", 1, fftTo, true)
 
 	// Plan construction cost, for the record: transform a size the process
 	// has never seen, forcing a cold plan build, vs the warm transform.
 	// (Each iteration uses a fresh odd size, so every call builds a plan.)
 	coldSize := 1031
-	coldNs, coldIt := measure(minDur/4, func() {
-		dsp.FFTInPlace(synthSignal(coldSize, *seed))
+	cold := measure(minDur/4, func() {
+		dsp.FFTInPlace(synthSignal(coldSize, seed))
 		coldSize += 2
 	})
-	add("fft_cold_plan_build_~1k", 1, coldNs, coldIt)
+	add("fft_cold_plan_build_~1k", 1, cold, false)
+
+	// Magnitude kernel delta: the historical cmplx.Abs formulation against
+	// the math.Hypot one dsp.Magnitude now uses. Same dst, same input; the
+	// difference is pure per-element cost.
+	mag := make([]float64, len(x))
+	abs := measure(minDur, func() {
+		for i, v := range x {
+			mag[i] = cmplx.Abs(v)
+		}
+	})
+	add("magnitude_512_cmplx_abs", 1, abs, true)
+	hyp := measure(minDur, func() { dsp.MagnitudeTo(mag, x) })
+	add("magnitude_512_hypot", 1, hyp, true)
+	snap.Speedups["magnitude_hypot"] = abs.ns / hyp.ns
 
 	// Batch FFT: 64 rows of 512, the shape of a multi-frame Doppler burst.
 	batch := make([][]complex128, 64)
 	for i := range batch {
-		batch[i] = synthSignal(512, *seed+int64(i))
+		batch[i] = synthSignal(512, seed+int64(i))
 	}
-	bseqNs, bseqIt := measure(minDur, func() { dsp.FFTEach(batch, 1) })
-	add("batch_fft_64x512", 1, bseqNs, bseqIt)
-	bparNs, bparIt := measure(minDur, func() { dsp.FFTEach(batch, 0) })
-	add("batch_fft_64x512", runtime.GOMAXPROCS(0), bparNs, bparIt)
-	snap.Speedups["batch_fft"] = bseqNs / bparNs
+	bseq := measure(minDur, func() { dsp.FFTEach(batch, 1) })
+	add("batch_fft_64x512", 1, bseq, false)
+	bpar := measure(minDur, func() { dsp.FFTEach(batch, 0) })
+	add("batch_fft_64x512", runtime.GOMAXPROCS(0), bpar, false)
+	snap.Speedups["batch_fft"] = bseq.ns / bpar.ns
+
+	// Pooled hot-path kernels, one row per stage of the steady-state frame
+	// path: background subtraction through a pooled Differencer, the
+	// range-FFT + beamform kernel into a reused Profile, and the Doppler
+	// burst kernel into a reused map. All three are single-worker pooled
+	// steady states — the allocation count must be exactly zero.
+	frameA := fmcw.SynthesizeWorkers(params, returns, 0, rand.New(rand.NewSource(seed)), 1)
+	frameB := fmcw.SynthesizeWorkers(params, returns[:len(returns)/2], 1/params.FrameRate, rand.New(rand.NewSource(parallel.SplitSeed(seed, 1))), 1)
+	var dif fmcw.Differencer
+	dif.UsePool(pool)
+	flip := false
+	diffS := measure(minDur, func() {
+		f := frameA
+		if flip {
+			f = frameB
+		}
+		flip = !flip
+		if out, ok := dif.Step(f); ok {
+			pool.Put(out)
+		}
+	})
+	add("differencer_step_pooled", 1, diffS, true)
+
+	cfg := radar.DefaultConfig()
+	cfg.Workers = 1
+	pr := radar.NewProcessor(cfg)
+	diffFrame := frameA.Sub(frameB)
+	prof := &radar.Profile{}
+	raS := measure(minDur, func() {
+		if err := pr.RangeAngleInto(nil, diffFrame, prof); err != nil {
+			fatal("range-angle-into", err)
+		}
+	})
+	add("range_angle_into_pooled", 1, raS, true)
+
+	chirps := make([]*fmcw.Frame, 8)
+	for i := range chirps {
+		chirps[i] = fmcw.SynthesizeWorkers(params, returns, float64(i)/params.FrameRate, rng, 1)
+	}
+	var rdMap radar.RangeDopplerMap
+	rdS := measure(minDur, func() {
+		if err := pr.RangeDopplerInto(nil, &rdMap, chirps, 0, 1/params.FrameRate); err != nil {
+			fatal("range-doppler-into", err)
+		}
+	})
+	add("doppler_into_win8_pooled", 1, rdS, true)
 
 	// Streaming vs batch: the same eavesdropper capture-and-track workload
-	// run through the bounded-memory pipeline (one frame in flight) and
-	// through the batch path (all frames materialized). Two capture lengths
-	// expose the memory asymptotics: streaming's retained heap stays flat,
-	// batch's grows with the capture.
-	streamLens := []int{64, 256}
-	if *quick {
-		streamLens = []int{12, 36}
-	}
-	addStream := func(name string, frames int, ns float64, peak uint64) {
+	// run through the bounded-memory pipeline (one frame in flight), the
+	// stage-overlapped scheduler, the pooled pipeline (recycled frame,
+	// profile, and Doppler buffers), and the batch path (all frames
+	// materialized). Two capture lengths expose the memory asymptotics.
+	addStream := func(name string, frames int, r streamSample) {
 		snap.Streaming = append(snap.Streaming, StreamResult{
-			Name:          name,
-			Frames:        frames,
-			NsPerFrame:    ns,
-			FramesPerSec:  1e9 / ns,
-			PeakHeapBytes: peak,
+			Name:           name,
+			Frames:         frames,
+			Workers:        runtime.GOMAXPROCS(0),
+			NsPerFrame:     r.ns,
+			FramesPerSec:   1e9 / r.ns,
+			AllocsPerFrame: r.allocs,
+			BytesPerFrame:  r.bytes,
+			PeakHeapBytes:  r.peak,
 		})
-		fmt.Fprintf(os.Stderr, "%-36s frames=%-4d %12.0f ns/frame  %8.1f frames/s  peak heap %6.1f MiB\n",
-			name, frames, ns, 1e9/ns, float64(peak)/(1<<20))
+		fmt.Fprintf(os.Stderr, "%-36s frames=%-4d %12.0f ns/frame  %8.1f frames/s  %8.1f allocs/frame  peak heap %6.1f MiB\n",
+			name, frames, r.ns, 1e9/r.ns, r.allocs, float64(r.peak)/(1<<20))
 	}
 	for _, n := range streamLens {
-		ns, peak := captureRun(*seed, n, modeStreaming)
-		addStream("streaming_capture_track", n, ns, peak)
-		cns, cpeak := captureRun(*seed, n, modeConcurrent)
-		addStream("streaming_capture_track_concurrent", n, cns, cpeak)
+		s := captureRun(seed, n, modeStreaming)
+		addStream("streaming_capture_track", n, s)
+		c := captureRun(seed, n, modeConcurrent)
+		addStream("streaming_capture_track_concurrent", n, c)
+		p := captureRun(seed, n, modePooled)
+		addStream("streaming_capture_track_pooled", n, p)
 		if n == streamLens[len(streamLens)-1] {
 			// Stage-overlap speedup of the ≥2-stage chain at the longest
 			// capture; near 1× on a single CPU, above it once stages can
-			// genuinely run on different cores.
-			snap.Speedups["concurrent_pipeline"] = ns / cns
+			// genuinely run on different cores. The pooled ratio is the
+			// allocation story instead: how much per-frame garbage the
+			// buffer-recycling path eliminates.
+			snap.Speedups["concurrent_pipeline"] = s.ns / c.ns
+			if p.allocs > 0 {
+				snap.Speedups["pooled_allocs_reduction"] = s.allocs / p.allocs
+			}
 		}
-		ns, peak = captureRun(*seed, n, modeBatch)
-		addStream("batch_capture_track", n, ns, peak)
+		b := captureRun(seed, n, modeBatch)
+		addStream("batch_capture_track", n, b)
 	}
 
 	// Sliding-window Doppler: steady-state per-frame cost of the K-frame
 	// ring-buffer range–Doppler recompute (slow-time FFT over 8 frames of
 	// 512-sample chirps, every range bin).
-	dopNs, dopIt := measure(minDur, dopplerStageRun(*seed))
-	add("doppler_stage_win8_per_frame", 1, dopNs, dopIt)
+	dop := measure(minDur, dopplerStageRun(seed))
+	add("doppler_stage_win8_per_frame", 1, dop, false)
 
 	// End-to-end experiment: Fig. 9 radar localization (no GAN training),
 	// covering synthesis, range-angle profiles, peaks, and tracking.
-	e2eNs, e2eIt := measure(minDur, func() {
-		if _, err := experiments.Fig9(*seed); err != nil {
-			fmt.Fprintln(os.Stderr, "bench: fig9:", err)
-			os.Exit(1)
+	e2e := measure(minDur, func() {
+		if _, err := experiments.Fig9(seed); err != nil {
+			fatal("fig9", err)
 		}
 	})
-	add("experiment_fig9_end_to_end", runtime.GOMAXPROCS(0), e2eNs, e2eIt)
+	add("experiment_fig9_end_to_end", runtime.GOMAXPROCS(0), e2e, false)
 
+	return snap
+}
+
+func fatal(what string, err error) {
+	fmt.Fprintf(os.Stderr, "bench: %s: %v\n", what, err)
+	os.Exit(1)
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func writeSnapshot(path string, snap *Snapshot) {
 	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if path != "-" {
+		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+			fatal("write", err)
 		}
 		defer f.Close()
 		w = f
@@ -216,30 +436,38 @@ func main() {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal("encode", err)
 	}
 }
 
 // captureRun modes: the sequential streaming pipeline, the stage-overlapped
-// concurrent scheduler (goroutine per stage, bounded channels), and the
-// batch path.
+// concurrent scheduler (goroutine per stage, bounded channels), the pooled
+// pipeline (same sequential chain with recycled frame/profile buffers), and
+// the batch path.
 const (
 	modeStreaming = iota
 	modeConcurrent
+	modePooled
 	modeBatch
 )
 
+// streamSample is one capture-and-track measurement: per-frame wall time
+// and allocation cost, plus the heap retained at the end of the run.
+type streamSample struct {
+	ns     float64
+	allocs float64
+	bytes  float64
+	peak   uint64
+}
+
 // captureRun measures one eavesdropper session — synthesize nFrames of a
 // home with a programmed ghost, range-angle process, track — through the
-// selected path, and returns ns/frame plus the heap retained at the end of
-// the run (before the results are released). All paths produce
-// bit-identical tracks; only cost and footprint differ.
-func captureRun(seed int64, nFrames int, mode int) (nsPerFrame float64, peakHeap uint64) {
+// selected path. All paths produce bit-identical tracks; only cost and
+// footprint differ.
+func captureRun(seed int64, nFrames int, mode int) streamSample {
 	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom()})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench: session:", err)
-		os.Exit(1)
+		fatal("session", err)
 	}
 	sc := sess.Scene
 	cx := sc.Radar.Position.X
@@ -249,8 +477,7 @@ func captureRun(seed int64, nFrames int, mode int) (nsPerFrame float64, peakHeap
 		ghost[i] = geom.Point{X: cx + 0.3 + f, Y: 2.7 + 1.5*f}
 	}
 	if _, err := sess.Ctl.ProgramForRadar(ghost, sc.Radar, sc.Params.FrameRate, 0); err != nil {
-		fmt.Fprintln(os.Stderr, "bench: ghost:", err)
-		os.Exit(1)
+		fatal("ghost", err)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	pr := radar.NewProcessor(radar.DefaultConfig())
@@ -273,8 +500,16 @@ func captureRun(seed int64, nFrames int, mode int) (nsPerFrame float64, peakHeap
 			_, err = p.Run(nil)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench: pipeline:", err)
-			os.Exit(1)
+			fatal("pipeline", err)
+		}
+		tracks = trk.Tracks()
+	case modePooled:
+		pools := pipeline.NewPools(sc.Params)
+		trk := pipeline.NewTrack(radar.TrackerConfig{})
+		stages := append(pipeline.FrontEndStagesPooled(pr, sc.Radar, pools), trk)
+		src := sc.Stream(0, nFrames, rng).UsePool(pools.Frames)
+		if _, err := pipeline.New(src, stages...).UsePools(pools).Run(nil); err != nil {
+			fatal("pooled pipeline", err)
 		}
 		tracks = trk.Tracks()
 	default:
@@ -284,16 +519,22 @@ func captureRun(seed int64, nFrames int, mode int) (nsPerFrame float64, peakHeap
 	elapsed := time.Since(start)
 	// Collect transient garbage first so the reading is the heap the run
 	// actually holds on to — the batch path's frames are still referenced
-	// here, the streaming path never kept any.
+	// here, the streaming path never kept any. (Mallocs/TotalAlloc are
+	// monotonic, so the forced GC doesn't disturb the per-frame rates.)
 	runtime.GC()
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)
 	runtime.KeepAlive(frames)
 	runtime.KeepAlive(tracks)
-	if m1.HeapAlloc > m0.HeapAlloc {
-		peakHeap = m1.HeapAlloc - m0.HeapAlloc
+	r := streamSample{
+		ns:     float64(elapsed.Nanoseconds()) / float64(nFrames),
+		allocs: float64(m1.Mallocs-m0.Mallocs) / float64(nFrames),
+		bytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(nFrames),
 	}
-	return float64(elapsed.Nanoseconds()) / float64(nFrames), peakHeap
+	if m1.HeapAlloc > m0.HeapAlloc {
+		r.peak = m1.HeapAlloc - m0.HeapAlloc
+	}
+	return r
 }
 
 // dopplerStageRun returns a closure measuring the steady-state per-frame
@@ -308,15 +549,13 @@ func dopplerStageRun(seed int64) func() {
 	ctx := context.Background()
 	for i := 0; i < 8; i++ {
 		if err := dop.Process(ctx, &pipeline.Item{Index: i, Frame: frame}); err != nil {
-			fmt.Fprintln(os.Stderr, "bench: doppler:", err)
-			os.Exit(1)
+			fatal("doppler", err)
 		}
 	}
 	i := 8
 	return func() {
-		if err := dop.Process(ctx, &pipeline.Item{Index: i, Frame: frame}); err != nil {
-			fmt.Fprintln(os.Stderr, "bench: doppler:", err)
-			os.Exit(1)
+		if err := dop.Process(ctx, &pipeline.Item{Index: 8 + i, Frame: frame}); err != nil {
+			fatal("doppler", err)
 		}
 		i++
 	}

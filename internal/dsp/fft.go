@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"math/cmplx"
 )
 
 // IsPowerOfTwo reports whether n is a positive power of two.
@@ -26,25 +25,49 @@ func NextPowerOfTwo(n int) int {
 // FFT computes the in-place-free discrete Fourier transform of x and returns
 // a new slice. Power-of-two lengths use an iterative radix-2
 // Cooley–Tukey; all other lengths use Bluestein's algorithm, so any length
-// is supported. The zero-length input returns an empty slice.
+// is supported. The zero-length input returns an empty slice. It is the
+// allocating wrapper over FFTTo.
 func FFT(x []complex128) []complex128 {
-	out := make([]complex128, len(x))
-	copy(out, x)
-	fftInPlace(out, false)
-	return out
+	return FFTTo(make([]complex128, len(x)), x)
+}
+
+// FFTTo computes the DFT of x into dst and returns dst: the
+// destination-passing form of FFT for steady-state callers that reuse one
+// output buffer across transforms. dst must have the same length as x (the
+// call panics otherwise); dst may alias x, in which case the transform is
+// in place. After the per-size plan is cached (first transform of a size),
+// FFTTo performs no allocations for any length — Bluestein scratch is
+// pooled per plan. Output is bit-identical to FFT.
+func FFTTo(dst, x []complex128) []complex128 {
+	if len(dst) != len(x) {
+		panic("dsp: FFTTo with mismatched lengths")
+	}
+	copy(dst, x)
+	fftInPlace(dst, false)
+	return dst
 }
 
 // IFFT computes the inverse DFT of x (with 1/N normalization) and returns a
-// new slice.
+// new slice. It is the allocating wrapper over IFFTTo.
 func IFFT(x []complex128) []complex128 {
-	out := make([]complex128, len(x))
-	copy(out, x)
-	fftInPlace(out, true)
-	return out
+	return IFFTTo(make([]complex128, len(x)), x)
 }
 
-// FFTInPlace transforms x in place. Non-power-of-two lengths still allocate
-// scratch internally (Bluestein).
+// IFFTTo computes the inverse DFT of x into dst (with 1/N normalization)
+// and returns dst, under the same length/aliasing/allocation contract as
+// FFTTo.
+func IFFTTo(dst, x []complex128) []complex128 {
+	if len(dst) != len(x) {
+		panic("dsp: IFFTTo with mismatched lengths")
+	}
+	copy(dst, x)
+	fftInPlace(dst, true)
+	return dst
+}
+
+// FFTInPlace transforms x in place. Non-power-of-two lengths draw their
+// Bluestein scratch from a per-plan pool, so the steady state allocates
+// nothing for any length.
 func FFTInPlace(x []complex128) { fftInPlace(x, false) }
 
 // IFFTInPlace inverse-transforms x in place with 1/N normalization.
@@ -110,9 +133,13 @@ func bluestein(x []complex128, inverse bool) {
 	if inverse {
 		w, bfft = p.wInv, p.bInv
 	}
-	a := make([]complex128, p.m)
+	a := p.getScratch()
+	defer p.putScratch(a)
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * w[k]
+	}
+	for k := n; k < p.m; k++ {
+		a[k] = 0
 	}
 	radix2(a, false)
 	for i := range a {
@@ -126,42 +153,87 @@ func bluestein(x []complex128, inverse bool) {
 }
 
 // FFTShift rotates the spectrum so the zero-frequency bin is centered,
-// returning a new slice (matching the conventional fftshift).
+// returning a new slice (matching the conventional fftshift). It is the
+// allocating wrapper over FFTShiftTo.
 func FFTShift(x []complex128) []complex128 {
+	return FFTShiftTo(make([]complex128, len(x)), x)
+}
+
+// FFTShiftTo writes the fftshift of x into dst and returns dst. dst must
+// have the same length as x and must not overlap it (the rotation reads
+// every input after some outputs are written); both violations panic.
+func FFTShiftTo(dst, x []complex128) []complex128 {
 	n := len(x)
-	out := make([]complex128, n)
+	if len(dst) != n {
+		panic("dsp: FFTShiftTo with mismatched lengths")
+	}
+	if n == 0 {
+		return dst
+	}
+	if &dst[0] == &x[0] {
+		panic("dsp: FFTShiftTo with aliased dst")
+	}
 	half := (n + 1) / 2
-	copy(out, x[half:])
-	copy(out[n-half:], x[:half])
-	return out
+	copy(dst, x[half:])
+	copy(dst[n-half:], x[:half])
+	return dst
 }
 
-// Magnitude returns |x| element-wise.
+// Magnitude returns |x| element-wise. It is the allocating wrapper over
+// MagnitudeTo.
 func Magnitude(x []complex128) []float64 {
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = cmplx.Abs(v)
-	}
-	return out
+	return MagnitudeTo(make([]float64, len(x)), x)
 }
 
-// Power returns |x|^2 element-wise.
+// MagnitudeTo writes |x| element-wise into dst and returns dst; dst must
+// have the same length as x. The magnitude is computed with math.Hypot
+// directly — the same overflow-safe kernel cmplx.Abs wraps — which keeps
+// the hot loop free of the extra call layer.
+func MagnitudeTo(dst []float64, x []complex128) []float64 {
+	if len(dst) != len(x) {
+		panic("dsp: MagnitudeTo with mismatched lengths")
+	}
+	for i, v := range x {
+		dst[i] = math.Hypot(real(v), imag(v))
+	}
+	return dst
+}
+
+// Power returns |x|^2 element-wise. It is the allocating wrapper over
+// PowerTo.
 func Power(x []complex128) []float64 {
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = real(v)*real(v) + imag(v)*imag(v)
-	}
-	return out
+	return PowerTo(make([]float64, len(x)), x)
 }
 
-// PowerDB returns 10*log10(|x|^2 + eps) element-wise. eps guards log(0).
+// PowerTo writes |x|^2 element-wise into dst and returns dst; dst must have
+// the same length as x.
+func PowerTo(dst []float64, x []complex128) []float64 {
+	if len(dst) != len(x) {
+		panic("dsp: PowerTo with mismatched lengths")
+	}
+	for i, v := range x {
+		dst[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return dst
+}
+
+// PowerDB returns 10*log10(|x|^2 + eps) element-wise. eps guards log(0). It
+// is the allocating wrapper over PowerDBTo.
 func PowerDB(x []complex128, eps float64) []float64 {
-	out := make([]float64, len(x))
+	return PowerDBTo(make([]float64, len(x)), x, eps)
+}
+
+// PowerDBTo writes 10*log10(|x|^2 + eps) element-wise into dst and returns
+// dst; dst must have the same length as x.
+func PowerDBTo(dst []float64, x []complex128, eps float64) []float64 {
+	if len(dst) != len(x) {
+		panic("dsp: PowerDBTo with mismatched lengths")
+	}
 	for i, v := range x {
 		p := real(v)*real(v) + imag(v)*imag(v)
-		out[i] = 10 * math.Log10(p+eps)
+		dst[i] = 10 * math.Log10(p+eps)
 	}
-	return out
+	return dst
 }
 
 // BinFrequency returns the frequency (Hz) of FFT bin k for an N-point

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sync"
 
 	"rfprotect/internal/parallel"
 )
@@ -27,15 +28,55 @@ type Frame struct {
 	Data   [][]complex128
 }
 
-// NewFrame allocates a zeroed frame for the given parameters.
+// NewFrame allocates a zeroed frame for the given parameters. Rows are cut
+// from one backing array with three-index slices, so each row's capacity is
+// exactly its length: an append to Data[k] copies out instead of silently
+// overwriting Data[k+1]'s samples.
 func NewFrame(p Params, at float64) *Frame {
 	n := p.SamplesPerChirp()
 	data := make([][]complex128, p.NumAntennas)
 	backing := make([]complex128, p.NumAntennas*n)
 	for k := range data {
-		data[k], backing = backing[:n], backing[n:]
+		data[k], backing = backing[:n:n], backing[n:]
 	}
 	return &Frame{Params: p, Time: at, Data: data}
+}
+
+// Reset zeroes every sample, leaving Params and Time untouched.
+func (f *Frame) Reset() {
+	for _, row := range f.Data {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// SameShape reports whether g has the same antenna count and per-row sample
+// count as f — the compatibility check for in-place frame operations and
+// pool membership.
+func (f *Frame) SameShape(g *Frame) bool {
+	if len(f.Data) != len(g.Data) {
+		return false
+	}
+	for k := range f.Data {
+		if len(f.Data[k]) != len(g.Data[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyFrom overwrites f with g's parameters, timestamp, and samples. It
+// panics if the shapes differ; it never aliases g's storage.
+func (f *Frame) CopyFrom(g *Frame) {
+	if !f.SameShape(g) {
+		panic("fmcw: CopyFrom with mismatched frame shapes")
+	}
+	f.Params = g.Params
+	f.Time = g.Time
+	for k := range f.Data {
+		copy(f.Data[k], g.Data[k])
+	}
 }
 
 // Synthesize produces the beat-domain frame for a set of returns at capture
@@ -75,22 +116,46 @@ func SynthesizeWorkers(p Params, returns []Return, at float64, rng *rand.Rand, w
 // never resume it. A nil ctx is exactly SynthesizeWorkers.
 func SynthesizeCtx(ctx context.Context, p Params, returns []Return, at float64, rng *rand.Rand, workers int) (*Frame, error) {
 	f := NewFrame(p, at)
+	if err := SynthesizeInto(ctx, f, returns, rng, workers); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// SynthesizeInto is the destination-passing form of SynthesizeCtx: it
+// accumulates the returns (and noise) into dst, whose Params and Time
+// select the configuration and capture time. dst must be zeroed — a frame
+// fresh from NewFrame or FramePool.Get — because synthesis adds
+// contributions on top of the existing samples. It performs no frame
+// allocation; per-antenna noise streams come from a pooled source reseeded
+// with parallel.SplitSeed, so the bits are identical to SynthesizeCtx for
+// the same (rng state, Params, Time, returns) regardless of pooling or
+// worker count. On cancellation dst holds partial data and must be
+// discarded (or Reset) by the caller.
+func SynthesizeInto(ctx context.Context, dst *Frame, returns []Return, rng *rand.Rand, workers int) error {
+	p := dst.Params
 	noisy := rng != nil && p.NoiseStd > 0
 	var base int64
 	if noisy {
 		base = rng.Int63()
 	}
-	err := parallel.ForEachCtx(ctx, p.NumAntennas, workers, func(k int) {
-		f.addReturnsAntenna(k, returns)
+	return parallel.ForEachCtx(ctx, p.NumAntennas, workers, func(k int) {
+		dst.addReturnsAntenna(k, returns)
 		if noisy {
-			f.addNoiseRow(k, rand.New(rand.NewSource(parallel.SplitSeed(base, k))))
+			r := noiseRngs.Get().(*rand.Rand)
+			r.Seed(parallel.SplitSeed(base, k))
+			dst.addNoiseRow(k, r)
+			noiseRngs.Put(r)
 		}
 	})
-	if err != nil {
-		return nil, err
-	}
-	return f, nil
 }
+
+// noiseRngs pools the per-antenna noise generators so steady-state
+// synthesis stops allocating a rand.Rand (and its ~5 KiB source state) per
+// antenna per frame. Reseeding a pooled source with Seed(s) reproduces
+// exactly the state rand.New(rand.NewSource(s)) would have, so the noise
+// bits are unchanged; the stream still depends only on (base, antenna).
+var noiseRngs = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
 
 // AddReturns accumulates the beat contributions of the given returns into
 // the frame, one antenna at a time.
@@ -160,41 +225,96 @@ func (f *Frame) addNoiseRow(k int, rng *rand.Rand) {
 // Differencer is the streaming form of successive-frame background
 // subtraction (§3): feed it frames one at a time and it emits cur - prev,
 // holding exactly one frame of history. The zero value is ready to use.
+//
+// The history is the differencer's own copy, never a retained caller
+// frame: Step reads the input only for the duration of the call, so a
+// pooled source may recycle or overwrite the frame as soon as its item has
+// finished the stage chain. With UsePool, the emitted difference frames
+// come from (and their history scratch is returned to) a FramePool, making
+// the steady state allocation-free; ownership of each emitted frame passes
+// to the caller, who returns it to the same pool when done (in the
+// streaming pipeline, the pipeline itself recycles it when the item
+// completes — see DESIGN.md "Buffer ownership & pooling").
 type Differencer struct {
 	prev *Frame
+	pool *FramePool
+}
+
+// UsePool makes the differencer draw its output (and history) frames from
+// the given pool. Call it before the first Step.
+func (d *Differencer) UsePool(p *FramePool) { d.pool = p }
+
+func (d *Differencer) getFrame(p Params, at float64) *Frame {
+	if d.pool != nil {
+		return d.pool.Get(at)
+	}
+	return NewFrame(p, at)
 }
 
 // Step consumes the next frame and returns its background-subtracted
 // difference against the previous one. The first frame only seeds the
 // history: Step returns (nil, false) for it, matching the batch pipeline
-// where frame 0 contributes no detection set.
+// where frame 0 contributes no detection set. The returned frame is owned
+// by the caller; in pooled mode it must eventually go back to the pool.
 func (d *Differencer) Step(f *Frame) (*Frame, bool) {
-	prev := d.prev
-	d.prev = f
-	if prev == nil {
+	if d.prev == nil {
+		d.prev = d.getFrame(f.Params, f.Time)
+		d.prev.CopyFrom(f)
 		return nil, false
 	}
-	return f.Sub(prev), true
+	if !d.prev.SameShape(f) {
+		panic("fmcw: Differencer.Step with mismatched frame shapes")
+	}
+	out := d.getFrame(f.Params, f.Time)
+	out.Params, out.Time = f.Params, f.Time
+	// One fused pass: emit f - prev and update the history to f, touching
+	// each row once. The arithmetic matches Sub exactly, so pooled and
+	// non-pooled runs are bit-identical.
+	for k := range f.Data {
+		fr, pr, or := f.Data[k], d.prev.Data[k], out.Data[k]
+		for i := range fr {
+			or[i] = fr[i] - pr[i]
+			pr[i] = fr[i]
+		}
+	}
+	d.prev.Time = f.Time
+	return out, true
 }
 
-// Reset drops the held history so the next Step seeds it again.
-func (d *Differencer) Reset() { d.prev = nil }
+// Reset drops the held history so the next Step seeds it again, returning
+// the history scratch to the pool when one is configured.
+func (d *Differencer) Reset() {
+	if d.pool != nil && d.prev != nil {
+		d.pool.Put(d.prev)
+	}
+	d.prev = nil
+}
 
 // Sub returns f - g sample-wise as a new frame: the successive-frame
 // background subtraction primitive of §3 ("Addressing Static Reflectors").
-// It panics if the frames have different shapes.
+// It is the allocating wrapper over SubInto.
 func (f *Frame) Sub(g *Frame) *Frame {
-	if len(f.Data) != len(g.Data) {
-		panic("fmcw: Sub with mismatched antenna counts")
-	}
 	out := NewFrame(f.Params, f.Time)
+	f.SubInto(out, g)
+	return out
+}
+
+// SubInto writes f - g sample-wise into dst, stamping it with f's Params
+// and Time — the destination-passing form of Sub for callers recycling
+// difference frames through a FramePool. It panics if the frames have
+// different shapes. dst may alias f or g.
+func (f *Frame) SubInto(dst, g *Frame) {
+	if len(f.Data) != len(g.Data) || len(f.Data) != len(dst.Data) {
+		panic("fmcw: SubInto with mismatched antenna counts")
+	}
+	dst.Params, dst.Time = f.Params, f.Time
 	for k := range f.Data {
-		if len(f.Data[k]) != len(g.Data[k]) {
-			panic("fmcw: Sub with mismatched sample counts")
+		if len(f.Data[k]) != len(g.Data[k]) || len(f.Data[k]) != len(dst.Data[k]) {
+			panic("fmcw: SubInto with mismatched sample counts")
 		}
-		for i := range f.Data[k] {
-			out.Data[k][i] = f.Data[k][i] - g.Data[k][i]
+		fr, gr, dr := f.Data[k], g.Data[k], dst.Data[k]
+		for i := range fr {
+			dr[i] = fr[i] - gr[i]
 		}
 	}
-	return out
 }

@@ -1,0 +1,80 @@
+package fmcw
+
+import "sync"
+
+// FramePool recycles equally-shaped frames so the steady state of a
+// streaming pipeline synthesizes, subtracts, and processes millions of
+// frames without allocating a single new one. It is a plain mutex-guarded
+// free list rather than a sync.Pool: the GC never empties it, which keeps
+// warmed-up throughput deterministic and lets allocation-regression tests
+// assert an exact zero allocs/op.
+//
+// Ownership contract: Get hands the caller exclusive ownership of a zeroed
+// frame; Put takes it back. A frame must not be used after Put — the pool
+// will hand the same storage to the next Get. Put accepts any frame of the
+// pool's shape (it panics on mismatch), so frames that began life outside
+// the pool may retire into it. See DESIGN.md "Buffer ownership & pooling"
+// for how the streaming pipeline threads this contract through its stages.
+type FramePool struct {
+	params Params
+	mu     sync.Mutex
+	free   []*Frame
+}
+
+// NewFramePool returns an empty pool producing frames with the given
+// parameters.
+func NewFramePool(p Params) *FramePool {
+	return &FramePool{params: p}
+}
+
+// Params returns the frame configuration this pool produces.
+func (fp *FramePool) Params() Params { return fp.params }
+
+// Get returns a zeroed frame stamped with the pool's Params and the given
+// capture time, reusing a recycled frame when one is available and
+// allocating otherwise (warm-up, or more frames in flight than ever
+// before).
+func (fp *FramePool) Get(at float64) *Frame {
+	fp.mu.Lock()
+	if k := len(fp.free); k > 0 {
+		f := fp.free[k-1]
+		fp.free[k-1] = nil
+		fp.free = fp.free[:k-1]
+		fp.mu.Unlock()
+		f.Params = fp.params
+		f.Time = at
+		return f
+	}
+	fp.mu.Unlock()
+	return NewFrame(fp.params, at)
+}
+
+// Put recycles a frame into the pool, zeroing it first so the next Get
+// honors Get's zeroed-frame contract. Put(nil) is a no-op; a frame whose
+// shape does not match the pool's parameters panics (recycling it would
+// hand a wrong-size frame to a later Get).
+func (fp *FramePool) Put(f *Frame) {
+	if f == nil {
+		return
+	}
+	n := fp.params.SamplesPerChirp()
+	if len(f.Data) != fp.params.NumAntennas {
+		panic("fmcw: FramePool.Put with mismatched antenna count")
+	}
+	for k := range f.Data {
+		if len(f.Data[k]) != n {
+			panic("fmcw: FramePool.Put with mismatched sample count")
+		}
+	}
+	f.Reset()
+	fp.mu.Lock()
+	fp.free = append(fp.free, f)
+	fp.mu.Unlock()
+}
+
+// Len reports how many frames are currently parked in the pool.
+func (fp *FramePool) Len() int {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return len(fp.free)
+}

@@ -20,9 +20,30 @@ func NewWindow(k int) *Window {
 	return &Window{buf: make([]*Frame, k)}
 }
 
-// Push appends a frame, evicting the oldest once the window is full.
+// Push appends a frame, evicting the oldest once the window is full. The
+// window aliases f — the caller must keep the frame unmodified while it is
+// held. Consumers feeding from a FramePool (where frames are recycled as
+// soon as their pipeline item completes) must use PushCopy instead.
 func (w *Window) Push(f *Frame) {
 	w.buf[w.head] = f
+	w.head = (w.head + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// PushCopy appends a private copy of f, reusing the evicted slot's frame
+// storage so a warmed-up window allocates nothing per push. Unlike Push,
+// the window never aliases the caller's frame, which makes it safe under
+// the pooled buffer-ownership contract: the caller may recycle or
+// overwrite f immediately after PushCopy returns.
+func (w *Window) PushCopy(f *Frame) {
+	dst := w.buf[w.head]
+	if dst == nil || !dst.SameShape(f) {
+		dst = NewFrame(f.Params, f.Time)
+	}
+	dst.CopyFrom(f)
+	w.buf[w.head] = dst
 	w.head = (w.head + 1) % len(w.buf)
 	if w.n < len(w.buf) {
 		w.n++

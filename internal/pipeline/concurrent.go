@@ -121,8 +121,13 @@ func (p *Pipeline) RunConcurrent(ctx context.Context, depth int) (frames int, er
 	}
 	// The caller's goroutine is the sink: counting the final channel both
 	// measures completed frames and guarantees the last stage never blocks.
-	for range chans[len(p.stages)] {
+	// It is also the one place an item is provably past its last stage, so
+	// pooled buffers are recycled here; items dropped by the failure drain
+	// above never arrive and their buffers fall to the GC instead of a pool
+	// (a bounded, benign leak on the abort path).
+	for it := range chans[len(p.stages)] {
 		frames++
+		p.recycle(it)
 	}
 	wg.Wait()
 

@@ -76,11 +76,69 @@ type Stage interface {
 type Pipeline struct {
 	src    Source
 	stages []Stage
+	pools  *Pools
 }
 
 // New assembles a pipeline. Stages run in the given order for every frame.
 func New(src Source, stages ...Stage) *Pipeline {
 	return &Pipeline{src: src, stages: stages}
+}
+
+// Pools bundles the buffer pools of a zero-allocation streaming run: raw
+// and background-subtracted frames share one FramePool (they have the same
+// shape), profiles and Doppler maps each have their own. A Pools value ties
+// the producers to the recycler — the source and pooled stages Get from
+// these pools, and the pipeline Puts every item's buffers back after its
+// last stage (see Pipeline.UsePools).
+type Pools struct {
+	Frames   *fmcw.FramePool
+	Profiles *radar.ProfilePool
+	Doppler  *radar.DopplerPool
+}
+
+// NewPools returns pools for captures with the given frame parameters.
+func NewPools(p fmcw.Params) *Pools {
+	return &Pools{
+		Frames:   fmcw.NewFramePool(p),
+		Profiles: radar.NewProfilePool(),
+		Doppler:  radar.NewDopplerPool(),
+	}
+}
+
+// UsePools makes the pipeline recycle each item's buffers (frame, diff,
+// profile, Doppler map) into the given pools once the item has completed
+// every stage — the consumer half of the buffer-ownership contract in
+// DESIGN.md "Buffer ownership & pooling". The producer half is the caller's:
+// only attach pools whose buffers the source and stages actually draw from
+// (scene.FrameStream.UsePool(pl.Frames) + FrontEndStagesPooled(...)).
+// Attaching pools to a pipeline whose source replays caller-owned frames
+// (FromFrames) would zero and reuse those frames mid-replay. Collector
+// stages (FramesCollector, ProfilesCollector) retain buffers past item
+// completion and are likewise incompatible with a pooled run — collect
+// copies instead. It returns p for chaining.
+func (p *Pipeline) UsePools(pl *Pools) *Pipeline {
+	p.pools = pl
+	return p
+}
+
+// recycle returns an item's pooled buffers once no stage will touch them
+// again. Without attached pools it is a no-op; nil buffer fields (frame 0's
+// Diff, items before the Doppler window fills) are skipped by the pools.
+func (p *Pipeline) recycle(it *Item) {
+	pl := p.pools
+	if pl == nil {
+		return
+	}
+	if pl.Frames != nil {
+		pl.Frames.Put(it.Frame)
+		pl.Frames.Put(it.Diff)
+	}
+	if pl.Profiles != nil {
+		pl.Profiles.Put(it.Profile)
+	}
+	if pl.Doppler != nil {
+		pl.Doppler.Put(it.RangeDoppler)
+	}
 }
 
 // Run drains the source through the stage chain: synthesize (or read) one
@@ -106,9 +164,13 @@ func (p *Pipeline) Run(ctx context.Context) (frames int, err error) {
 		it := &Item{Index: i, Frame: f}
 		for _, st := range p.stages {
 			if err := st.Process(ctx, it); err != nil {
+				// The failed item's buffers are NOT recycled — on the error
+				// path they simply drop to the GC, which keeps a half-
+				// processed buffer from ever re-entering a pool.
 				return i, stageError{stage: st.Name(), err: err}
 			}
 		}
+		p.recycle(it)
 	}
 }
 

@@ -1,0 +1,186 @@
+package pipeline
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/radar"
+	"rfprotect/internal/scene"
+)
+
+// chainResult captures everything a pooled run may NOT retain through
+// pooled buffers: detections are fresh slices from Detect, tracks live in
+// the tracker — both safe to keep after the buffers are recycled.
+type chainResult struct {
+	frames int
+	dets   [][]radar.Detection
+	tracks []*radar.Track
+}
+
+// runPooledChain runs the full eavesdropper chain (background-subtract →
+// range-angle → peak-extract → doppler → track-with-velocity) over nFrames,
+// pooled or not, sequentially or concurrently.
+func runPooledChain(t *testing.T, s interface {
+	Stream(t0 float64, n int, rng *rand.Rand) *scene.FrameStream
+}, params fmcw.Params, array fmcw.Array, nFrames, seed, workers, depth int, pooled bool) chainResult {
+	t.Helper()
+	cfg := radar.DefaultConfig()
+	cfg.Workers = workers
+	pr := radar.NewProcessor(cfg)
+	detsC := NewCollectDetections()
+	trk := NewTrackWithVelocity(radar.TrackerConfig{}, array)
+
+	src := s.Stream(0, nFrames, rand.New(rand.NewSource(int64(seed)))).UseWorkers(workers)
+	var stages []Stage
+	var p *Pipeline
+	if pooled {
+		pl := NewPools(params)
+		stages = FrontEndStagesPooled(pr, array, pl)
+		stages = append(stages, NewDopplerPooled(pr, 6, 0, pl.Doppler), trk, detsC)
+		p = New(src.UsePool(pl.Frames), stages...).UsePools(pl)
+	} else {
+		stages = FrontEndStages(pr, array)
+		stages = append(stages, NewDoppler(pr, 6, 0), trk, detsC)
+		p = New(src, stages...)
+	}
+	var n int
+	var err error
+	if depth > 0 {
+		n, err = p.RunConcurrent(context.Background(), depth)
+	} else {
+		n, err = p.Run(context.Background())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chainResult{frames: n, dets: detsC.Detections(), tracks: trk.Tracks()}
+}
+
+// TestPooledEquivalentToUnpooled is the golden contract of the pooled path:
+// for every worker count and for both the sequential and the concurrent
+// runner, a pooled run produces the same detections and tracks as the
+// allocating run, frame for frame and point for point.
+func TestPooledEquivalentToUnpooled(t *testing.T) {
+	const nFrames = 18
+	const seed = 11
+	s := testSession(t)
+	params, array := s.Scene.Params, s.Scene.Radar
+	want := runPooledChain(t, s.Scene, params, array, nFrames, seed, 0, 0, false)
+	if want.frames != nFrames {
+		t.Fatalf("reference run processed %d frames, want %d", want.frames, nFrames)
+	}
+	for _, workers := range []int{1, 2, 0} {
+		for _, depth := range []int{0, 1, 4} { // 0 = sequential Run
+			got := runPooledChain(t, s.Scene, params, array, nFrames, seed, workers, depth, true)
+			if got.frames != want.frames {
+				t.Fatalf("workers=%d depth=%d: %d frames, want %d", workers, depth, got.frames, want.frames)
+			}
+			if !reflect.DeepEqual(got.dets, want.dets) {
+				t.Fatalf("workers=%d depth=%d: pooled detections differ from unpooled", workers, depth)
+			}
+			if len(got.tracks) != len(want.tracks) {
+				t.Fatalf("workers=%d depth=%d: %d tracks, want %d", workers, depth, len(got.tracks), len(want.tracks))
+			}
+			for i := range want.tracks {
+				if got.tracks[i].ID != want.tracks[i].ID ||
+					got.tracks[i].Confirmed != want.tracks[i].Confirmed ||
+					!reflect.DeepEqual(got.tracks[i].Points, want.tracks[i].Points) {
+					t.Fatalf("workers=%d depth=%d: track %d differs", workers, depth, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPooledRunRecyclesBuffers checks the ownership loop actually closes:
+// after a pooled run every in-flight buffer has come back to its pool, so a
+// longer capture reuses them instead of allocating.
+func TestPooledRunRecyclesBuffers(t *testing.T) {
+	const nFrames = 12
+	s := testSession(t)
+	pl := NewPools(s.Scene.Params)
+	pr := radar.NewProcessor(radar.DefaultConfig())
+	stages := FrontEndStagesPooled(pr, s.Scene.Radar, pl)
+	stages = append(stages, NewDopplerPooled(pr, 4, 0, pl.Doppler))
+	src := s.Scene.Stream(0, nFrames, rand.New(rand.NewSource(1))).UsePool(pl.Frames)
+	if _, err := New(src, stages...).UsePools(pl).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential run: exactly one raw frame + one diff in flight, both
+	// recycled at item completion. The pool should hold a tiny constant
+	// number of frames, not one per processed frame.
+	if got := pl.Frames.Len(); got == 0 || got > 4 {
+		t.Fatalf("FramePool holds %d frames after run, want a small nonzero count", got)
+	}
+	if got := pl.Profiles.Len(); got == 0 || got > 2 {
+		t.Fatalf("ProfilePool holds %d profiles after run, want 1-2", got)
+	}
+	if got := pl.Doppler.Len(); got == 0 || got > 2 {
+		t.Fatalf("DopplerPool holds %d maps after run, want 1-2", got)
+	}
+}
+
+// TestStagesZeroAllocsSteadyState drives the three pooled hot-path stages
+// directly (no pipeline loop, Workers: 1) and asserts the steady state
+// allocates nothing per frame: the subtract stage, the range-FFT/beamform
+// stage, and the sliding-window Doppler stage.
+func TestStagesZeroAllocsSteadyState(t *testing.T) {
+	p := fmcw.DefaultParams()
+	p.SampleRate = 128e3 // 64 samples per chirp keeps the guard fast
+	p.NumAntennas = 4
+	array := fmcw.Array{Facing: 1}
+	rng := rand.New(rand.NewSource(3))
+	// A small ring of distinct source frames so the differencer and the
+	// Doppler window see changing data, as in a real capture.
+	var templates []*fmcw.Frame
+	for i := 0; i < 4; i++ {
+		rets := []fmcw.Return{
+			array.ReturnFrom(geom.Point{X: 1.5, Y: 3.5}, 1, 0, rng.Float64()),
+		}
+		templates = append(templates, fmcw.Synthesize(p, rets, float64(i)/p.FrameRate, rng))
+	}
+
+	cfg := radar.DefaultConfig()
+	cfg.Workers = 1
+	pr := radar.NewProcessor(cfg)
+	pl := NewPools(p)
+	bg := NewBackgroundSubtractPooled(pl.Frames)
+	ra := NewRangeAnglePooled(pr, pl.Profiles)
+	dop := NewDopplerPooled(pr, len(templates), 0, pl.Doppler)
+
+	var it Item
+	step := func(i int) {
+		f := pl.Frames.Get(float64(i) / p.FrameRate)
+		f.CopyFrom(templates[i%len(templates)])
+		it = Item{Index: i, Frame: f}
+		if err := bg.Process(nil, &it); err != nil {
+			t.Fatal(err)
+		}
+		if err := ra.Process(nil, &it); err != nil {
+			t.Fatal(err)
+		}
+		if err := dop.Process(nil, &it); err != nil {
+			t.Fatal(err)
+		}
+		pl.Frames.Put(it.Frame)
+		pl.Frames.Put(it.Diff)
+		pl.Profiles.Put(it.Profile)
+		pl.Doppler.Put(it.RangeDoppler)
+	}
+	// Warm-up: fill the differencer history and the Doppler window, build
+	// processor scratch, and charge the pools.
+	for i := 0; i < 2*len(templates); i++ {
+		step(i)
+	}
+	i := 2 * len(templates)
+	if allocs := testing.AllocsPerRun(100, func() {
+		step(i)
+		i++
+	}); allocs != 0 {
+		t.Fatalf("pooled stage chain allocates %v per frame in steady state, want 0", allocs)
+	}
+}

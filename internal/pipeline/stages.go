@@ -17,6 +17,16 @@ type BackgroundSubtractStage struct {
 // NewBackgroundSubtract returns a fresh background-subtraction stage.
 func NewBackgroundSubtract() *BackgroundSubtractStage { return &BackgroundSubtractStage{} }
 
+// NewBackgroundSubtractPooled returns a background-subtraction stage whose
+// difference frames and history come from the given pool, so its steady
+// state allocates nothing. Emitted diffs are bit-identical to the unpooled
+// stage's; the pipeline recycles them when wired with UsePools.
+func NewBackgroundSubtractPooled(pool *fmcw.FramePool) *BackgroundSubtractStage {
+	s := &BackgroundSubtractStage{}
+	s.diff.UsePool(pool)
+	return s
+}
+
 func (s *BackgroundSubtractStage) Name() string { return "background-subtract" }
 
 func (s *BackgroundSubtractStage) Process(ctx context.Context, it *Item) error {
@@ -30,16 +40,34 @@ func (s *BackgroundSubtractStage) Process(ctx context.Context, it *Item) error {
 // Eq. 2 beamforming) of the background-subtracted frame. Items without a
 // Diff pass through untouched.
 type RangeAngleStage struct {
-	pr *radar.Processor
+	pr   *radar.Processor
+	pool *radar.ProfilePool
 }
 
 // NewRangeAngle returns a profile stage over the given processor.
 func NewRangeAngle(pr *radar.Processor) *RangeAngleStage { return &RangeAngleStage{pr: pr} }
 
+// NewRangeAnglePooled returns a profile stage that fills recycled profiles
+// from the given pool via RangeAngleInto instead of allocating one per
+// frame. Profiles are bit-identical to the unpooled stage's; the pipeline
+// recycles them when wired with UsePools.
+func NewRangeAnglePooled(pr *radar.Processor, pool *radar.ProfilePool) *RangeAngleStage {
+	return &RangeAngleStage{pr: pr, pool: pool}
+}
+
 func (s *RangeAngleStage) Name() string { return "range-angle" }
 
 func (s *RangeAngleStage) Process(ctx context.Context, it *Item) error {
 	if it.Diff == nil {
+		return nil
+	}
+	if s.pool != nil {
+		prof := s.pool.Get()
+		if err := s.pr.RangeAngleInto(ctx, it.Diff, prof); err != nil {
+			s.pool.Put(prof) // partially written: contents are unspecified anyway
+			return err
+		}
+		it.Profile = prof
 		return nil
 	}
 	prof, err := s.pr.RangeAngleCtx(ctx, it.Diff)
@@ -84,6 +112,18 @@ func FrontEndStages(pr *radar.Processor, array fmcw.Array) []Stage {
 	return []Stage{NewBackgroundSubtract(), NewRangeAngle(pr), NewPeakExtract(pr, array)}
 }
 
+// FrontEndStagesPooled is FrontEndStages with the difference frames and
+// profiles drawn from pl's pools: same stages, same bits, zero steady-state
+// allocations in the subtract and profile stages. Pair it with a source
+// feeding from pl.Frames and Pipeline.UsePools(pl) so the buffers flow back.
+func FrontEndStagesPooled(pr *radar.Processor, array fmcw.Array, pl *Pools) []Stage {
+	return []Stage{
+		NewBackgroundSubtractPooled(pl.Frames),
+		NewRangeAnglePooled(pr, pl.Profiles),
+		NewPeakExtract(pr, array),
+	}
+}
+
 // DopplerStage computes a sliding-window range–Doppler map over the last K
 // raw frames: a K-frame ring buffer (fmcw.Window) feeds per-range-bin
 // slow-time FFTs through the cached dsp plans, and once the window is full
@@ -96,6 +136,7 @@ type DopplerStage struct {
 	win     *fmcw.Window
 	antenna int
 	burst   []*fmcw.Frame // scratch reused every frame
+	pool    *radar.DopplerPool
 }
 
 // NewDoppler returns a Doppler stage with a K-frame window observing the
@@ -107,14 +148,37 @@ func NewDoppler(pr *radar.Processor, window, antenna int) *DopplerStage {
 	return &DopplerStage{pr: pr, win: fmcw.NewWindow(window), antenna: antenna}
 }
 
+// NewDopplerPooled is NewDoppler with the output maps drawn from the given
+// pool via RangeDopplerInto instead of allocated per frame. Maps are
+// bit-identical to the unpooled stage's; the pipeline recycles them when
+// wired with UsePools.
+func NewDopplerPooled(pr *radar.Processor, window, antenna int, pool *radar.DopplerPool) *DopplerStage {
+	s := NewDoppler(pr, window, antenna)
+	s.pool = pool
+	return s
+}
+
 func (s *DopplerStage) Name() string { return "range-doppler" }
 
 func (s *DopplerStage) Process(ctx context.Context, it *Item) error {
-	s.win.Push(it.Frame)
+	// The window must own its history: items are recycled (or dropped) as
+	// soon as their stage chain completes, so the stage copies each frame
+	// into its ring instead of aliasing it. A warmed-up ring reuses the
+	// evicted slot's storage, so the copy costs no allocation.
+	s.win.PushCopy(it.Frame)
 	if !s.win.Full() {
 		return nil
 	}
 	s.burst = s.win.Frames(s.burst[:0])
+	if s.pool != nil {
+		m := s.pool.Get()
+		if err := s.pr.RangeDopplerInto(ctx, m, s.burst, s.antenna, 1/it.Frame.Params.FrameRate); err != nil {
+			s.pool.Put(m) // partially written: contents are unspecified anyway
+			return err
+		}
+		it.RangeDoppler = m
+		return nil
+	}
 	m, err := s.pr.RangeDopplerCtx(ctx, s.burst, s.antenna, 1/it.Frame.Params.FrameRate)
 	if err != nil {
 		return err
@@ -221,7 +285,9 @@ func (s *DetectionsCollector) Process(ctx context.Context, it *Item) error {
 func (s *DetectionsCollector) Detections() [][]radar.Detection { return s.dets }
 
 // ProfilesCollector accumulates every computed profile (unbounded; tests
-// and offline analysis only).
+// and offline analysis only). It retains the profiles past item completion,
+// so it must not run in a pipeline wired with UsePools — the recycler would
+// overwrite the collected profiles in place.
 type ProfilesCollector struct {
 	profs []*radar.Profile
 }
@@ -242,7 +308,9 @@ func (s *ProfilesCollector) Process(ctx context.Context, it *Item) error {
 func (s *ProfilesCollector) Profiles() []*radar.Profile { return s.profs }
 
 // FramesCollector accumulates every raw frame (unbounded; tests only — it
-// deliberately defeats the pipeline's bounded-memory property).
+// deliberately defeats the pipeline's bounded-memory property). Like
+// ProfilesCollector it retains buffers past item completion and must not
+// run in a pipeline wired with UsePools.
 type FramesCollector struct {
 	frames []*fmcw.Frame
 }

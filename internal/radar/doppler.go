@@ -79,53 +79,14 @@ func (pr *Processor) RangeDoppler(chirps []*fmcw.Frame, antenna int, pri float64
 // returns (nil, ctx.Err()) once ctx is done. A nil ctx is exactly
 // RangeDoppler. The map is bit-identical for any worker count: each chirp's
 // range FFT and each range bin's Doppler column are independent work items
-// writing disjoint destinations through the cached dsp plans.
+// writing disjoint destinations through the cached dsp plans. It is the
+// allocating wrapper over RangeDopplerInto.
 func (pr *Processor) RangeDopplerCtx(ctx context.Context, chirps []*fmcw.Frame, antenna int, pri float64) (*RangeDopplerMap, error) {
-	if len(chirps) == 0 {
-		return &RangeDopplerMap{}, nil
-	}
-	p := chirps[0].Params
-	n := p.SamplesPerChirp()
-	if antenna < 0 || antenna >= p.NumAntennas {
-		antenna = 0
-	}
-	win := pr.cfg.Window.Coefficients(n)
-	maxBin := pr.maxRangeBin(p, n)
-	nd := len(chirps)
-	// Windowed range FFT per chirp, transformed as a concurrent batch.
-	spectra := make([][]complex128, nd)
-	for k, f := range chirps {
-		x := make([]complex128, n)
-		for i, v := range f.Data[antenna] {
-			x[i] = v * complex(win[i], 0)
-		}
-		spectra[k] = x
-	}
-	if err := dsp.FFTEachCtx(ctx, spectra, 0); err != nil {
+	m := &RangeDopplerMap{}
+	if err := pr.RangeDopplerInto(ctx, m, chirps, antenna, pri); err != nil {
 		return nil, err
 	}
-	// Slow-time FFT per range bin (Hann along chirps), then fftshift and
-	// power detection per bin.
-	dwin := dsp.Hann.Coefficients(nd)
-	cols, err := dsp.SlowTimeFFT(ctx, spectra, maxBin, dwin, 0)
-	if err != nil {
-		return nil, err
-	}
-	out := &RangeDopplerMap{
-		Params:      p,
-		PRI:         pri,
-		RangeBins:   maxBin,
-		DopplerBins: nd,
-		Power:       make([]float64, maxBin*nd),
-	}
-	for r := 0; r < maxBin; r++ {
-		shifted := dsp.FFTShift(cols[r])
-		row := out.Power[r*nd : (r+1)*nd]
-		for d, v := range shifted {
-			row[d] = real(v)*real(v) + imag(v)*imag(v)
-		}
-	}
-	return out, nil
+	return m, nil
 }
 
 // PeakVelocityAtRange extracts the dominant Doppler peak in the range rows

@@ -1,0 +1,101 @@
+package radar
+
+import "sync"
+
+// ProfilePool and DopplerPool recycle profile and range–Doppler map
+// destinations for the Into kernels, completing the zero-allocation
+// steady-state loop: a streaming consumer Gets a destination, fills it with
+// RangeAngleInto / RangeDopplerInto (which reuse the Power backing's
+// capacity), and Puts it back once downstream stages are done reading it.
+// Like fmcw.FramePool they are plain mutex-guarded free lists rather than
+// sync.Pools: the GC never empties them, so the warmed-up allocation count
+// stays exactly zero and the allocation-regression gate can assert it.
+//
+// Unlike FramePool the recycled objects are NOT zeroed or shape-checked:
+// the Into kernels restamp every field and overwrite (or reallocate) Power,
+// so stale contents are harmless and differently-shaped leftovers simply
+// get their backing replaced. See DESIGN.md "Buffer ownership & pooling".
+
+// ProfilePool is a free list of range–angle profiles.
+type ProfilePool struct {
+	mu   sync.Mutex
+	free []*Profile
+}
+
+// NewProfilePool returns an empty pool.
+func NewProfilePool() *ProfilePool { return &ProfilePool{} }
+
+// Get returns a profile with unspecified contents, to be filled by
+// RangeAngleInto.
+func (pp *ProfilePool) Get() *Profile {
+	pp.mu.Lock()
+	if k := len(pp.free); k > 0 {
+		p := pp.free[k-1]
+		pp.free[k-1] = nil
+		pp.free = pp.free[:k-1]
+		pp.mu.Unlock()
+		return p
+	}
+	pp.mu.Unlock()
+	return &Profile{}
+}
+
+// Put recycles a profile. The caller must not use it after Put; Put(nil) is
+// a no-op.
+func (pp *ProfilePool) Put(p *Profile) {
+	if p == nil {
+		return
+	}
+	pp.mu.Lock()
+	pp.free = append(pp.free, p)
+	pp.mu.Unlock()
+}
+
+// Len reports how many profiles are currently parked in the pool.
+func (pp *ProfilePool) Len() int {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return len(pp.free)
+}
+
+// DopplerPool is a free list of range–Doppler maps.
+type DopplerPool struct {
+	mu   sync.Mutex
+	free []*RangeDopplerMap
+}
+
+// NewDopplerPool returns an empty pool.
+func NewDopplerPool() *DopplerPool { return &DopplerPool{} }
+
+// Get returns a map with unspecified contents, to be filled by
+// RangeDopplerInto.
+func (dp *DopplerPool) Get() *RangeDopplerMap {
+	dp.mu.Lock()
+	if k := len(dp.free); k > 0 {
+		m := dp.free[k-1]
+		dp.free[k-1] = nil
+		dp.free = dp.free[:k-1]
+		dp.mu.Unlock()
+		return m
+	}
+	dp.mu.Unlock()
+	return &RangeDopplerMap{}
+}
+
+// Put recycles a map. The caller must not use it after Put; Put(nil) is a
+// no-op.
+func (dp *DopplerPool) Put(m *RangeDopplerMap) {
+	if m == nil {
+		return
+	}
+	dp.mu.Lock()
+	dp.free = append(dp.free, m)
+	dp.mu.Unlock()
+}
+
+// Len reports how many maps are currently parked in the pool.
+func (dp *DopplerPool) Len() int {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	return len(dp.free)
+}

@@ -17,7 +17,6 @@ import (
 
 	"rfprotect/internal/dsp"
 	"rfprotect/internal/fmcw"
-	"rfprotect/internal/parallel"
 )
 
 // Config tunes the processing pipeline.
@@ -31,6 +30,12 @@ type Config struct {
 	// the strongest cell in the profile; it suppresses multipath sidelobes.
 	MinPeakRatio float64
 	MaxTargets   int // cap on detections per frame
+	// Workers bounds the fan-out width of the per-antenna FFT batches and
+	// per-range-bin sweeps (<= 0 means one worker per available CPU). The
+	// output is bit-identical for any value; Workers: 1 additionally runs
+	// inline with no goroutines, which is what the zero-allocation
+	// steady-state guarantee of the Into variants is stated for.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -71,6 +76,15 @@ func (p *Profile) AngleOfBin(a float64) float64 {
 func (p *Profile) At(r, a int) float64 { return p.Power[r*p.AngleBins+a] }
 
 // Processor computes range–angle profiles and detections.
+//
+// A Processor reuses internal scratch (cached windows, steering vectors,
+// spectra buffers, and pre-bound fan-out closures) across calls, which is
+// what makes its Into kernels allocation-free in steady state. Each kernel
+// family guards its scratch with a lock, so concurrent calls on one
+// Processor remain safe — they serialize instead of overlapping. Callers
+// that want kernel-level parallelism across frames should use distinct
+// Processors; the fan-out *inside* a call parallelizes across
+// Config.Workers either way.
 type Processor struct {
 	cfg Config
 	// steering[a][k] is the beamforming weight conj(steer) for angle bin a,
@@ -78,6 +92,8 @@ type Processor struct {
 	steering  [][]complex128
 	steerFor  fmcw.Params
 	steerBins int
+	ra        raScratch
+	rd        rdScratch
 }
 
 // NewProcessor returns a Processor with the given configuration;
@@ -136,52 +152,11 @@ func (pr *Processor) RangeAngle(f *fmcw.Frame) *Profile {
 
 // RangeAngleCtx is RangeAngle with cooperative cancellation threaded into
 // the FFT batch and the beamforming fan-out; it returns (nil, ctx.Err())
-// once ctx is done. A nil ctx is exactly RangeAngle.
+// once ctx is done. A nil ctx is exactly RangeAngle. It is the allocating
+// wrapper over RangeAngleInto.
 func (pr *Processor) RangeAngleCtx(ctx context.Context, f *fmcw.Frame) (*Profile, error) {
-	p := f.Params
-	n := p.SamplesPerChirp()
-	nAnt := p.NumAntennas
-	win := pr.cfg.Window.Coefficients(n)
-
-	// Windowed range FFT per antenna, transformed as a concurrent batch.
-	spectra := make([][]complex128, nAnt)
-	for k := 0; k < nAnt; k++ {
-		x := make([]complex128, n)
-		for i, v := range f.Data[k] {
-			x[i] = v * complex(win[i], 0)
-		}
-		spectra[k] = x
-	}
-	if err := dsp.FFTEachCtx(ctx, spectra, 0); err != nil {
-		return nil, err
-	}
-
-	maxBin := pr.maxRangeBin(p, n)
-	minBin := pr.minRangeBin(p, n)
-	bins := pr.cfg.AngleBins
-	st := pr.steeringFor(p)
-	prof := &Profile{
-		Params:    p,
-		Time:      f.Time,
-		RangeBins: maxBin,
-		AngleBins: bins,
-		Power:     make([]float64, maxBin*bins),
-	}
-	// Each range bin's beamforming sweep is independent and writes only its
-	// own row of the profile, so bins fan out across the worker pool.
-	err := parallel.ForEachCtx(ctx, maxBin-minBin, 0, func(i int) {
-		r := minBin + i
-		row := prof.Power[r*bins : (r+1)*bins]
-		for a := 0; a < bins; a++ {
-			var s complex128
-			w := st[a]
-			for k := 0; k < nAnt; k++ {
-				s += spectra[k][r] * w[k]
-			}
-			row[a] = real(s)*real(s) + imag(s)*imag(s)
-		}
-	})
-	if err != nil {
+	prof := &Profile{}
+	if err := pr.RangeAngleInto(ctx, f, prof); err != nil {
 		return nil, err
 	}
 	return prof, nil

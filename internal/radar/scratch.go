@@ -1,0 +1,258 @@
+package radar
+
+import (
+	"context"
+	"sync"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/parallel"
+)
+
+// This file holds the destination-passing half of the processor: the
+// RangeAngleInto / RangeDopplerInto kernels and the per-Processor scratch
+// they reuse. The allocating RangeAngleCtx / RangeDopplerCtx methods are
+// thin wrappers over these, so there is exactly one implementation of each
+// kernel and the Into variants are bit-identical to the historical output
+// by construction.
+//
+// The scratch caches everything whose lifetime exceeds one call: window
+// coefficient tables, per-antenna spectra buffers, per-range-bin Doppler
+// columns, and — critically — the fan-out closures themselves. A closure
+// passed to parallel.ForEachCtx escapes and would cost one heap allocation
+// per call; binding it once against the scratch struct and feeding it
+// per-call state through scratch fields makes the steady state of both
+// kernels allocation-free at Workers: 1. (Worker goroutine spawns still
+// allocate, so multi-worker calls cost O(workers) allocations — scheduling
+// overhead, not per-sample garbage.)
+
+// raScratch is the reusable state behind RangeAngleInto, keyed by the
+// frame parameters it was built for. The mutex serializes whole calls:
+// concurrent RangeAngle* calls on one Processor are safe (they were safe
+// when the kernel was stateless, and callers — e.g. duplicated pipeline
+// stages sharing a processor — rely on that), they just don't overlap.
+type raScratch struct {
+	mu      sync.Mutex
+	valid   bool
+	params  fmcw.Params
+	win     []float64
+	spectra [][]complex128 // one windowed-FFT row per antenna
+	st      [][]complex128
+	minBin  int
+	maxBin  int
+	fftFn   func(k int)
+	beamFn  func(i int)
+	// Per-call state read by the pre-bound closures; set on entry to
+	// RangeAngleInto and cleared on exit so the scratch never retains the
+	// caller's (possibly pooled) frame or profile.
+	frame *fmcw.Frame
+	prof  *Profile
+}
+
+func (pr *Processor) raSetup(p fmcw.Params) {
+	s := &pr.ra
+	if s.valid && s.params == p {
+		return
+	}
+	n := p.SamplesPerChirp()
+	nAnt := p.NumAntennas
+	s.win = pr.cfg.Window.Coefficients(n)
+	backing := make([]complex128, nAnt*n)
+	s.spectra = make([][]complex128, nAnt)
+	for k := range s.spectra {
+		s.spectra[k], backing = backing[:n:n], backing[n:]
+	}
+	s.minBin = pr.minRangeBin(p, n)
+	s.maxBin = pr.maxRangeBin(p, n)
+	s.st = pr.steeringFor(p)
+	dsp.FFTInPlace(s.spectra[0]) // warm the size-n plan before the fan-out
+	s.fftFn = func(k int) {
+		row := s.spectra[k]
+		for i, v := range s.frame.Data[k] {
+			row[i] = v * complex(s.win[i], 0)
+		}
+		dsp.FFTInPlace(row)
+	}
+	s.beamFn = func(i int) {
+		r := s.minBin + i
+		bins := s.prof.AngleBins
+		row := s.prof.Power[r*bins : (r+1)*bins]
+		for a := 0; a < bins; a++ {
+			var sum complex128
+			w := s.st[a]
+			for k := range s.spectra {
+				sum += s.spectra[k][r] * w[k]
+			}
+			row[a] = real(sum)*real(sum) + imag(sum)*imag(sum)
+		}
+	}
+	s.params = p
+	s.valid = true
+}
+
+// RangeAngleInto computes the range–angle power profile of f into prof,
+// reusing prof.Power's capacity when it suffices — the destination-passing
+// core of RangeAngle/RangeAngleCtx, bit-identical to both for any worker
+// count and any prior contents of prof. After the first call for a given
+// frame shape, a call with Config{Workers: 1} allocates nothing.
+//
+// On cancellation prof holds partially written garbage and must be
+// discarded (or simply passed to the next call, which overwrites it).
+func (pr *Processor) RangeAngleInto(ctx context.Context, f *fmcw.Frame, prof *Profile) error {
+	if prof == nil {
+		panic("radar: RangeAngleInto with nil profile")
+	}
+	s := &pr.ra
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pr.raSetup(f.Params)
+	s.frame, s.prof = f, prof
+	defer func() { s.frame, s.prof = nil, nil }()
+
+	bins := pr.cfg.AngleBins
+	prof.Params = f.Params
+	prof.Time = f.Time
+	prof.RangeBins = s.maxBin
+	prof.AngleBins = bins
+	if need := s.maxBin * bins; cap(prof.Power) >= need {
+		prof.Power = prof.Power[:need]
+	} else {
+		prof.Power = make([]float64, need)
+	}
+	// The beamforming sweep writes only rows [minBin, maxBin); zero the
+	// skipped near-range rows so a reused Power matches a fresh one exactly.
+	head := prof.Power[:s.minBin*bins]
+	for i := range head {
+		head[i] = 0
+	}
+	// Windowed range FFT per antenna, then Eq. 2 beamforming per range bin;
+	// every work item writes only its own row, so any fan-out width yields
+	// the same bits.
+	if err := parallel.ForEachCtx(ctx, len(s.spectra), pr.cfg.Workers, s.fftFn); err != nil {
+		return err
+	}
+	return parallel.ForEachCtx(ctx, s.maxBin-s.minBin, pr.cfg.Workers, s.beamFn)
+}
+
+// rdScratch is the reusable state behind RangeDopplerInto, keyed by the
+// chirp parameters and the burst length it was built for. As with
+// raScratch, the mutex keeps concurrent RangeDoppler* calls on one
+// Processor safe by serializing them.
+type rdScratch struct {
+	mu      sync.Mutex
+	valid   bool
+	params  fmcw.Params
+	nd      int
+	win     []float64      // fast-time window, length n
+	dwin    []float64      // slow-time Hann, length nd
+	spectra [][]complex128 // one windowed range-FFT row per chirp
+	cols    [][]complex128 // one slow-time column per range bin
+	maxBin  int
+	fftFn   func(k int)
+	colFn   func(r int)
+	// Per-call state read by the pre-bound closures.
+	chirps  []*fmcw.Frame
+	antenna int
+	m       *RangeDopplerMap
+}
+
+func (pr *Processor) rdSetup(p fmcw.Params, nd int) {
+	s := &pr.rd
+	if s.valid && s.params == p && s.nd == nd {
+		return
+	}
+	n := p.SamplesPerChirp()
+	s.win = pr.cfg.Window.Coefficients(n)
+	s.dwin = dsp.Hann.Coefficients(nd)
+	s.maxBin = pr.maxRangeBin(p, n)
+	fast := make([]complex128, nd*n)
+	s.spectra = make([][]complex128, nd)
+	for k := range s.spectra {
+		s.spectra[k], fast = fast[:n:n], fast[n:]
+	}
+	slow := make([]complex128, s.maxBin*nd)
+	s.cols = make([][]complex128, s.maxBin)
+	for r := range s.cols {
+		s.cols[r], slow = slow[:nd:nd], slow[nd:]
+	}
+	// Warm both plan sizes before the fan-outs.
+	dsp.FFTInPlace(s.spectra[0])
+	if s.maxBin > 0 {
+		dsp.FFTInPlace(s.cols[0])
+	}
+	s.fftFn = func(k int) {
+		row := s.spectra[k]
+		for i, v := range s.chirps[k].Data[s.antenna] {
+			row[i] = v * complex(s.win[i], 0)
+		}
+		dsp.FFTInPlace(row)
+	}
+	s.colFn = func(r int) {
+		col := s.cols[r]
+		for k := 0; k < s.nd; k++ {
+			col[k] = s.spectra[k][r] * complex(s.dwin[k], 0)
+		}
+		dsp.FFTInPlace(col)
+		// Fused fftshift + power detection: FFTShift(x)[d] = x[(d+half)%nd]
+		// with half = (nd+1)/2, so index the shifted order directly instead
+		// of materializing a shifted copy.
+		half := (s.nd + 1) / 2
+		row := s.m.Power[r*s.nd : (r+1)*s.nd]
+		for d := range row {
+			v := col[(d+half)%s.nd]
+			row[d] = real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	s.params = p
+	s.nd = nd
+	s.valid = true
+}
+
+// RangeDopplerInto computes the range–Doppler map of a chirp burst into m,
+// reusing m.Power's capacity when it suffices — the destination-passing
+// core of RangeDoppler/RangeDopplerCtx, bit-identical to both for any
+// worker count and any prior contents of m. After the first call for a
+// given (parameters, burst length), a call with Config{Workers: 1}
+// allocates nothing; note a sliding window that is still filling changes
+// the burst length every frame, so the allocation-free steady state begins
+// once the window is full.
+//
+// On cancellation m holds partially written garbage and must be discarded
+// (or passed to the next call, which overwrites it).
+func (pr *Processor) RangeDopplerInto(ctx context.Context, m *RangeDopplerMap, chirps []*fmcw.Frame, antenna int, pri float64) error {
+	if m == nil {
+		panic("radar: RangeDopplerInto with nil map")
+	}
+	if len(chirps) == 0 {
+		*m = RangeDopplerMap{Power: m.Power[:0]}
+		return nil
+	}
+	p := chirps[0].Params
+	if antenna < 0 || antenna >= p.NumAntennas {
+		antenna = 0
+	}
+	nd := len(chirps)
+	s := &pr.rd
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pr.rdSetup(p, nd)
+	s.chirps, s.antenna, s.m = chirps, antenna, m
+	defer func() { s.chirps, s.m = nil, nil }()
+
+	m.Params = p
+	m.PRI = pri
+	m.RangeBins = s.maxBin
+	m.DopplerBins = nd
+	if need := s.maxBin * nd; cap(m.Power) >= need {
+		m.Power = m.Power[:need]
+	} else {
+		m.Power = make([]float64, need)
+	}
+	// Range FFT per chirp, then slow-time FFT + shift + power per range
+	// bin; disjoint destinations per work item keep any fan-out width
+	// bit-identical.
+	if err := parallel.ForEachCtx(ctx, nd, pr.cfg.Workers, s.fftFn); err != nil {
+		return err
+	}
+	return parallel.ForEachCtx(ctx, s.maxBin, pr.cfg.Workers, s.colFn)
+}

@@ -88,8 +88,14 @@ func (s *Scene) movingReturn(p geom.Point, rcs, extraPhase float64, out []fmcw.R
 }
 
 // ReturnsAt assembles every reflection in the scene at time t.
-func (s *Scene) ReturnsAt(t float64) []fmcw.Return {
-	var out []fmcw.Return
+func (s *Scene) ReturnsAt(t float64) []fmcw.Return { return s.AppendReturnsAt(nil, t) }
+
+// AppendReturnsAt appends every reflection in the scene at time t to dst and
+// returns the extended slice — the scratch-reusing form of ReturnsAt, so a
+// streaming consumer can feed the same backing array through every frame.
+// The appended contents are identical to ReturnsAt's for any dst.
+func (s *Scene) AppendReturnsAt(dst []fmcw.Return, t float64) []fmcw.Return {
+	out := dst
 	for _, h := range s.Humans {
 		p := h.PositionAt(t)
 		// Breathing shifts the reflecting surface radially: extra round-trip
@@ -129,23 +135,29 @@ func (s *Scene) FrameAtCtx(ctx context.Context, t float64, rng *rand.Rand) (*fmc
 			return nil, err
 		}
 	}
-	returns := s.ReturnsAt(t)
+	returns := s.AppendReturnsAt(nil, t)
 	if rng != nil && s.Room.Speckle > 0 {
-		returns = append(returns, s.speckle(returns, rng)...)
+		returns = s.appendSpeckle(returns, rng)
 	}
 	return fmcw.SynthesizeCtx(ctx, s.Params, returns, t, rng, 0)
 }
 
-// speckle generates one weak companion per return: a diffuse bounce arriving
-// slightly later and from a slightly different direction, with random phase.
-// Rich-scattering rooms (office) perturb peak locations this way; it affects
-// humans and RF-Protect ghosts identically, which is why §11.1 sees larger
-// errors for both in the office.
-func (s *Scene) speckle(returns []fmcw.Return, rng *rand.Rand) []fmcw.Return {
+// appendSpeckle appends one weak companion per return: a diffuse bounce
+// arriving slightly later and from a slightly different direction, with
+// random phase. Rich-scattering rooms (office) perturb peak locations this
+// way; it affects humans and RF-Protect ghosts identically, which is why
+// §11.1 sees larger errors for both in the office.
+//
+// Companions append to the input slice itself, iterating only the prefix
+// that existed on entry — the same companions from the same rng draws, in
+// the same order, as the historical two-slice implementation, but without a
+// per-frame allocation when the slice has capacity.
+func (s *Scene) appendSpeckle(returns []fmcw.Return, rng *rand.Rand) []fmcw.Return {
 	lvl := s.Room.Speckle
-	out := make([]fmcw.Return, 0, len(returns))
 	binDelay := 2 * s.Params.RangeResolution() / fmcw.C
-	for _, r := range returns {
+	n0 := len(returns)
+	for i := 0; i < n0; i++ {
+		r := returns[i]
 		if r.Amplitude < 1e-4 {
 			continue
 		}
@@ -155,9 +167,9 @@ func (s *Scene) speckle(returns []fmcw.Return, rng *rand.Rand) []fmcw.Return {
 		// Angular spread grows with scattering richness.
 		c.AoA += rng.NormFloat64() * 0.12 * lvl
 		c.Phase += rng.Float64() * 2 * 3.141592653589793
-		out = append(out, c)
+		returns = append(returns, c)
 	}
-	return out
+	return returns
 }
 
 // CaptureBurst synthesizes a chirp burst for Doppler processing: nChirps
@@ -199,14 +211,19 @@ func (s *Scene) CaptureCtx(ctx context.Context, t0 float64, n int, rng *rand.Ran
 
 // FrameStream emits a capture one frame at a time: the scene-side Source of
 // the streaming pipeline (internal/pipeline). It holds no frame history, so
-// a stream of any length runs in O(1) frame memory.
+// a stream of any length runs in O(1) frame memory; with UsePool it also
+// runs in O(1) frame *allocations*, synthesizing every frame into recycled
+// pool storage.
 type FrameStream struct {
-	scene *Scene
-	t0    float64
-	dt    float64
-	n     int
-	i     int
-	rng   *rand.Rand
+	scene   *Scene
+	t0      float64
+	dt      float64
+	n       int
+	i       int
+	rng     *rand.Rand
+	pool    *fmcw.FramePool
+	workers int
+	rets    []fmcw.Return // per-frame returns scratch, reused across Next calls
 }
 
 // Stream returns a FrameStream over the same n frames Capture(t0, n, rng)
@@ -218,6 +235,27 @@ func (s *Scene) Stream(t0 float64, n int, rng *rand.Rand) *FrameStream {
 	return &FrameStream{scene: s, t0: t0, dt: 1 / s.Params.FrameRate, n: n, rng: rng}
 }
 
+// UsePool makes the stream synthesize every frame into storage from the
+// given pool (which must be configured with the scene's Params) instead of
+// allocating a fresh frame per Next. Emitted frames are bit-identical to
+// the unpooled stream's; ownership of each frame passes to the caller, who
+// recycles it with pool.Put once done — the streaming pipeline does this
+// automatically when wired with pipeline.UsePools. It returns st for
+// chaining.
+func (st *FrameStream) UsePool(pool *fmcw.FramePool) *FrameStream {
+	st.pool = pool
+	return st
+}
+
+// UseWorkers bounds the synthesis fan-out width per frame (<= 0, the
+// default, means one worker per available CPU). Frames are bit-identical
+// for any value; 1 keeps synthesis inline and allocation-free in the pooled
+// steady state. It returns st for chaining.
+func (st *FrameStream) UseWorkers(workers int) *FrameStream {
+	st.workers = workers
+	return st
+}
+
 // Next synthesizes and returns the next frame. It returns io.EOF once the
 // stream is exhausted, or ctx.Err() once ctx is done (a nil ctx never
 // cancels).
@@ -225,9 +263,30 @@ func (st *FrameStream) Next(ctx context.Context) (*fmcw.Frame, error) {
 	if st.n >= 0 && st.i >= st.n {
 		return nil, io.EOF
 	}
-	f, err := st.scene.FrameAtCtx(ctx, st.t0+float64(st.i)*st.dt, st.rng)
-	if err != nil {
-		return nil, err
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	sc := st.scene
+	t := st.t0 + float64(st.i)*st.dt
+	st.rets = sc.AppendReturnsAt(st.rets[:0], t)
+	if st.rng != nil && sc.Room.Speckle > 0 {
+		st.rets = sc.appendSpeckle(st.rets, st.rng)
+	}
+	var f *fmcw.Frame
+	if st.pool != nil {
+		f = st.pool.Get(t)
+		if err := fmcw.SynthesizeInto(ctx, f, st.rets, st.rng, st.workers); err != nil {
+			st.pool.Put(f) // partially written: zero and recycle
+			return nil, err
+		}
+	} else {
+		var err error
+		f, err = fmcw.SynthesizeCtx(ctx, sc.Params, st.rets, t, st.rng, st.workers)
+		if err != nil {
+			return nil, err
+		}
 	}
 	st.i++
 	return f, nil
