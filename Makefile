@@ -6,7 +6,7 @@ GO ?= go
 COVER_MIN ?= 80
 COVER_PKGS ?= ./internal/pipeline ./internal/dsp
 
-.PHONY: build vet lint test race short bench bench-go bench-json benchdiff cover fuzz ci
+.PHONY: build vet lint test race short bench bench-go bench-json benchdiff cover fuzz daemon-smoke ci
 
 build:
 	$(GO) build ./...
@@ -78,4 +78,15 @@ cover:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStageComposition -fuzztime 10s ./internal/pipeline
 
-ci: lint build race cover fuzz benchdiff
+# Daemon smoke: build rfprotectd, then drive the full lifecycle under the
+# race detector — 8 concurrent rooms × 64 frames whose exported tracks are
+# bit-identical to the library path, an ingest drain that loses no accepted
+# frame, and start → SIGTERM → drain → clean exit with zero leaked
+# goroutines.
+daemon-smoke:
+	$(GO) build -o /dev/null ./cmd/rfprotectd
+	$(GO) test -race -count=1 \
+		-run 'TestSmokeConcurrentRoomsBitIdentical|TestIngestDrainNoFrameLoss|TestDaemonSIGTERMDrain' \
+		./internal/service ./cmd/rfprotectd
+
+ci: lint build race cover fuzz benchdiff daemon-smoke

@@ -347,6 +347,24 @@ func runSnapshot(minDur time.Duration, seed int64, streamLens []int, quick bool)
 	})
 	add("doppler_into_win8_pooled", 1, rdS, true)
 
+	// The pipeline's own per-frame machinery — source pull, Item checkout
+	// from the free list, stage dispatch, recycle, Item return — over a
+	// replayed frame and a counting no-op stage, so nothing but the
+	// machinery itself runs. One warm-up run materializes the steady-state
+	// Item; after that a 16-frame Run must allocate exactly nothing.
+	bsrc := &replaySource{f: frameA, n: 16}
+	bp := pipeline.New(bsrc, &countStage{})
+	if _, err := bp.Run(nil); err != nil {
+		fatal("pipeline-run", err)
+	}
+	itemS := measure(minDur, func() {
+		bsrc.i = 0
+		if _, err := bp.Run(nil); err != nil {
+			fatal("pipeline-run", err)
+		}
+	})
+	add("pipeline_run_item_pooled", 1, itemS, true)
+
 	// Streaming vs batch: the same eavesdropper capture-and-track workload
 	// run through the bounded-memory pipeline (one frame in flight), the
 	// stage-overlapped scheduler, the pooled pipeline (recycled frame,
@@ -562,6 +580,32 @@ func dopplerStageRun(seed int64) func() {
 }
 
 // synthReturns mirrors the mixed workload the fmcw benchmarks use.
+// replaySource replays one caller-owned frame n times without allocating;
+// rewinding i rearms it. It isolates the pipeline machinery's cost from
+// synthesis and DSP.
+type replaySource struct {
+	f    *fmcw.Frame
+	n, i int
+}
+
+func (s *replaySource) Next(ctx context.Context) (*fmcw.Frame, error) {
+	if s.i >= s.n {
+		return nil, io.EOF
+	}
+	s.i++
+	return s.f, nil
+}
+
+// countStage touches every item without retaining it.
+type countStage struct{ n int }
+
+func (s *countStage) Name() string { return "count" }
+
+func (s *countStage) Process(ctx context.Context, it *pipeline.Item) error {
+	s.n++
+	return nil
+}
+
 func synthReturns(n int, seed int64) []fmcw.Return {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]fmcw.Return, n)

@@ -1,0 +1,97 @@
+// Command rfprotectd is the RF-Protect daemon: a long-running server
+// hosting many concurrent simulation/processing sessions ("rooms") behind
+// the sharded manager in internal/service, exposed over an HTTP/streaming
+// API. See API.md for the endpoint reference and DESIGN.md ("Service
+// architecture") for the invariants.
+//
+// Lifecycle: rfprotectd listens until SIGTERM/SIGINT, then drains — new
+// rooms and frames are refused, every accepted frame finishes all stages,
+// all runner goroutines are joined — and exits 0. If the drain budget
+// (-drain-timeout) expires first, stragglers are hard-cancelled and the
+// exit code is 1.
+//
+//	rfprotectd -addr 127.0.0.1:8347 -shards 8 -drain-timeout 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rfprotect/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with its environment injected — args, output streams, and an
+// optional started callback reporting the bound address — so the daemon
+// test can drive a full start → serve → SIGTERM → drain lifecycle
+// in-process.
+func run(args []string, stdout, stderr io.Writer, started func(addr string)) int {
+	fs := flag.NewFlagSet("rfprotectd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8347", "listen address (host:port; port 0 picks a free port)")
+	shards := fs.Int("shards", 8, "room-table shards")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// The manager's root is NOT the signal context: a signal must trigger
+	// the orderly drain below, not an instant hard-cancel of every room.
+	root := context.Background()
+	sigCtx, stopSignals := signal.NotifyContext(root, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	m := service.NewManager(root, *shards)
+	srv := &http.Server{Handler: m.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rfprotectd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rfprotectd listening on http://%s (%d shards)\n", ln.Addr(), *shards)
+	if started != nil {
+		started(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- srv.Serve(ln)
+	}()
+
+	select {
+	case <-sigCtx.Done():
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "rfprotectd: serve: %v\n", err)
+		return 1
+	}
+	stopSignals()
+	fmt.Fprintf(stdout, "rfprotectd: signal received, draining (budget %s)\n", *drainTimeout)
+
+	code := 0
+	dctx, dcancel := context.WithTimeout(root, *drainTimeout)
+	defer dcancel()
+	if err := m.Drain(dctx); err != nil {
+		fmt.Fprintf(stderr, "rfprotectd: drain incomplete, stragglers hard-cancelled: %v\n", err)
+		code = 1
+	}
+	sctx, scancel := context.WithTimeout(root, 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(stderr, "rfprotectd: shutdown: %v\n", err)
+		code = 1
+	}
+	<-serveErr // http.ErrServerClosed after Shutdown
+	fmt.Fprintln(stdout, "rfprotectd: drained, bye")
+	return code
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"rfprotect/internal/fmcw"
+)
+
+// syncBuffer is a concurrency-safe bytes.Buffer: run writes from the daemon
+// goroutine, the test reads after exit.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonSIGTERMDrain drives the full daemon lifecycle in-process:
+// start, create a synthetic room and an ingest room over HTTP, stream the
+// synthetic room to completion, push frames into the ingest room, send the
+// process SIGTERM, and assert a clean drain — exit code 0, every accepted
+// frame processed, and no leaked goroutines.
+func TestDaemonSIGTERMDrain(t *testing.T) {
+	// Prime os/signal before the baseline: its internal delivery goroutine
+	// starts on first Notify and deliberately never exits, so it must not
+	// count as a daemon leak.
+	prime := make(chan os.Signal, 1)
+	signal.Notify(prime, syscall.SIGHUP)
+	signal.Stop(prime)
+	baseline := runtime.NumGoroutine()
+	var out, errOut syncBuffer
+	addrCh := make(chan string, 1)
+	exitCh := make(chan int, 1)
+	go func() {
+		exitCh <- run(
+			[]string{"-addr", "127.0.0.1:0", "-shards", "4", "-drain-timeout", "30s"},
+			&out, &errOut,
+			func(addr string) { addrCh <- addr },
+		)
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon did not start; stderr:\n%s", errOut.String())
+	}
+
+	// Synthetic room: runs to completion on its own.
+	resp, err := http.Post(base+"/v1/rooms", "application/json",
+		strings.NewReader(`{"id":"synth","frames":16,"seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create synth: status %d", resp.StatusCode)
+	}
+	// Drain its stream to the final event so the room is done pre-SIGTERM.
+	resp, err = http.Get(base + "/v1/rooms/synth/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawFinal := false
+	for sc.Scan() {
+		var ev struct {
+			Final bool   `json:"final"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Final {
+			if ev.Error != "" {
+				t.Fatalf("synth room failed: %s", ev.Error)
+			}
+			sawFinal = true
+			break
+		}
+	}
+	resp.Body.Close()
+	if !sawFinal {
+		t.Fatal("synth stream ended without a final event")
+	}
+
+	// Ingest room with queued frames: these must survive the drain.
+	resp, err = http.Post(base+"/v1/rooms", "application/json",
+		strings.NewReader(`{"id":"live","queue_depth":32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create live: status %d", resp.StatusCode)
+	}
+	shape := fmcw.NewFrame(fmcw.DefaultParams(), 0)
+	data := make([][][2]float64, len(shape.Data))
+	for k := range data {
+		data[k] = make([][2]float64, len(shape.Data[k]))
+	}
+	const pushed = 8
+	var batch bytes.Buffer
+	enc := json.NewEncoder(&batch)
+	for i := 0; i < pushed; i++ {
+		if err := enc.Encode(map[string]any{"time": float64(i) * 0.05, "data": data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err = http.Post(base+"/v1/rooms/live/frames", "application/x-ndjson", &batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing struct {
+		Ingested int `json:"ingested"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ing.Ingested != pushed {
+		t.Fatalf("ingest: status %d, ingested %d (want 200/%d)", resp.StatusCode, ing.Ingested, pushed)
+	}
+
+	// SIGTERM → drain → clean exit.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	select {
+	case code = <-exitCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	stdout := out.String()
+	for _, want := range []string{"signal received, draining", "drained, bye"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+
+	// No goroutine may outlive the daemon.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after daemon exit: %d live, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

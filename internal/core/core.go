@@ -1,15 +1,3 @@
-// Package core is the top of the RF-Protect stack: it wires the trajectory
-// generator (internal/gan over internal/motion) to the hardware tag
-// (internal/reflector), manages ghost deployments, and implements the
-// legitimate-sensor path (§11.3) that removes disclosed fake trajectories
-// from tracking output.
-//
-// A typical deployment:
-//
-//	sys, _ := core.New(core.Config{TagPosition: wall, TagAxis: 0, Seed: 1})
-//	sys.TrainGenerator(nil, 200)              // or sys.LoadGenerator(r)
-//	rec, _ := sys.DeployGhost(2, anchor, 0)   // class-2 ghost at t=0
-//	sc.Sources = append(sc.Sources, sys.Tag())
 package core
 
 import (

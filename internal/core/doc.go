@@ -1,0 +1,24 @@
+// Package core is the top of the RF-Protect stack: it wires the trajectory
+// generator (internal/gan over internal/motion) to the hardware tag
+// (internal/reflector), manages ghost deployments, and implements the
+// legitimate-sensor path (§11.3) that removes disclosed fake trajectories
+// from tracking output.
+//
+// A typical deployment through the System API:
+//
+//	sys, _ := core.New(core.Config{TagPosition: wall, TagAxis: 0, Seed: 1})
+//	sys.TrainGenerator(nil, 200)              // or sys.LoadGenerator(r)
+//	rec, _ := sys.DeployGhost(2, anchor, 0)   // class-2 ghost at t=0
+//	sc.Sources = append(sc.Sources, sys.Tag())
+//
+// # Sessions
+//
+// Session/SessionConfig is the one shared wiring point for the
+// scene→tag→radar stack: NewSession assembles a room, an eavesdropper
+// radar, and a tag already appended to the scene's sources, with
+// ExtraRadars adding coordinated eavesdropper views that share the single
+// tag (the §13 extended threat model). Every consumer of a full deployment
+// — the experiments, the examples, the service layer behind rfprotectd —
+// builds it through a Session so the assembly order (and therefore the
+// bit-exact output for a given seed) is identical everywhere.
+package core

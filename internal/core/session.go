@@ -41,6 +41,14 @@ type SessionConfig struct {
 	// configuration (default or override) before the tag is built — e.g.
 	// flipping SSB for an ablation.
 	ConfigureTag func(*reflector.Config)
+	// ExtraRadars adds coordinated eavesdropper views: one additional scene
+	// per array, sharing the room, radar parameters, multipath setting, and
+	// the single tag (the paper's §13 extended threat model — the tag is
+	// programmed against the primary radar and merely observed by the
+	// others). Each view starts with the tag as its only source; humans and
+	// clutter are per-scene and are wired by the caller, typically the same
+	// *scene.Human pointers on every view.
+	ExtraRadars []fmcw.Array
 }
 
 // Session is an assembled deployment: the scene with the tag already
@@ -53,6 +61,11 @@ type Session struct {
 	Scene *scene.Scene
 	Tag   *reflector.Reflector
 	Ctl   *reflector.Controller
+	// Views holds every radar's scene: Views[0] is Scene (the primary, with
+	// the tag deployed relative to it), followed by one scene per
+	// ExtraRadars entry in order. All views share the one Tag; captures are
+	// independent per view (separate rngs, separate processors).
+	Views []*scene.Scene
 }
 
 // NewSession assembles the standard deployment described by cfg.
@@ -83,7 +96,18 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		return nil, fmt.Errorf("core: session: %w", err)
 	}
 	sc.Sources = append(sc.Sources, tag)
-	return &Session{Scene: sc, Tag: tag, Ctl: reflector.NewController(tag)}, nil
+	s := &Session{Scene: sc, Tag: tag, Ctl: reflector.NewController(tag)}
+	s.Views = append(s.Views, sc)
+	for _, arr := range cfg.ExtraRadars {
+		view := scene.NewScene(cfg.Room, params)
+		if cfg.NoMultipath {
+			view.Multipath = false
+		}
+		view.Radar = arr
+		view.Sources = append(view.Sources, tag)
+		s.Views = append(s.Views, view)
+	}
+	return s, nil
 }
 
 // NewSystem assembles a full RF-Protect System (trajectory generator +

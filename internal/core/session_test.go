@@ -102,3 +102,50 @@ func TestSessionNewSystemSharesTag(t *testing.T) {
 		t.Fatalf("disclosures = %d records, want the System's ghost", len(s.Ctl.Records()))
 	}
 }
+
+func TestNewSessionExtraRadars(t *testing.T) {
+	room := scene.HomeRoom()
+	arrB := fmcw.Array{
+		Position:  geom.Point{X: 0, Y: room.Height / 2},
+		AxisAngle: 1.5707963267948966,
+		Facing:    -1,
+	}
+	s, err := NewSession(SessionConfig{Room: room, NoMultipath: true, ExtraRadars: []fmcw.Array{arrB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Views) != 2 {
+		t.Fatalf("Views = %d scenes, want primary + 1 extra", len(s.Views))
+	}
+	if s.Views[0] != s.Scene {
+		t.Fatal("Views[0] must be the primary scene")
+	}
+	b := s.Views[1]
+	if b.Radar != arrB {
+		t.Fatalf("extra view radar = %+v, want %+v", b.Radar, arrB)
+	}
+	if b.Params != s.Scene.Params {
+		t.Fatal("extra view must share the primary's radar parameters")
+	}
+	if b.Multipath {
+		t.Fatal("extra view must inherit NoMultipath")
+	}
+	if len(b.Sources) != 1 || b.Sources[0] != scene.ReturnSource(s.Tag) {
+		t.Fatal("extra view must observe the one shared tag as its only source")
+	}
+	// The single-tag property the §13 experiment relies on: programming the
+	// tag once is visible from every view, because it is the same reflector.
+	if s.Views[1].Sources[0] != s.Views[0].Sources[0] {
+		t.Fatal("views must share the tag instance, not copies")
+	}
+}
+
+func TestNewSessionNoExtraRadars(t *testing.T) {
+	s, err := NewSession(SessionConfig{Room: scene.HomeRoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Views) != 1 || s.Views[0] != s.Scene {
+		t.Fatal("without ExtraRadars, Views must hold exactly the primary scene")
+	}
+}

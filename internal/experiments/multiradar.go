@@ -44,20 +44,23 @@ func MultiRadarCtx(ctx context.Context, seed int64) (MultiRadarResult, error) {
 
 	// Radar A: bottom wall (the scene default), with the tag deployed at the
 	// standard position by the session builder. Radar B: left wall, facing
-	// +x, array along y — hand-built, because it shares radar A's tag (the
-	// paper's single-tag scenario) instead of getting its own.
-	sess, err := core.NewSession(core.SessionConfig{Room: scene.HomeRoom(), NoMultipath: true})
+	// +x, array along y — an ExtraRadars view, so the session wires it to
+	// share radar A's tag (the paper's single-tag scenario) instead of
+	// getting its own.
+	room := scene.HomeRoom()
+	sess, err := core.NewSession(core.SessionConfig{
+		Room:        room,
+		NoMultipath: true,
+		ExtraRadars: []fmcw.Array{{
+			Position:  geom.Point{X: 0, Y: room.Height / 2},
+			AxisAngle: 1.5707963267948966, // array along +y
+			Facing:    -1,                 // look toward +x
+		}},
+	})
 	if err != nil {
 		return res, err
 	}
-	scA := sess.Scene
-	scB := scene.NewScene(scene.HomeRoom(), params)
-	scB.Multipath = false
-	scB.Radar = fmcw.Array{
-		Position:  geom.Point{X: 0, Y: scB.Room.Height / 2},
-		AxisAngle: 1.5707963267948966, // array along +y
-		Facing:    -1,                 // look toward +x
-	}
+	scA, scB := sess.Views[0], sess.Views[1]
 
 	// One human and one tag-ghost shared by both scenes.
 	n := 80
@@ -80,7 +83,6 @@ func MultiRadarCtx(ctx context.Context, seed int64) (MultiRadarResult, error) {
 	if _, err := ctl.ProgramForRadar(ghost, scA.Radar, params.FrameRate, 0); err != nil {
 		return res, err
 	}
-	scB.Sources = []scene.ReturnSource{tag}
 
 	// The two radars' capture-and-process chains are independent (separate
 	// scenes, separate seeded rngs, separate processors — the Processor's

@@ -1,22 +1,9 @@
-// Package parallel provides the small concurrency substrate shared by the
-// simulation stack: a bounded worker pool for index-addressed fan-out
-// (ForEach), an errgroup-style Group for heterogeneous tasks, and a
-// deterministic seed-splitting mix (SplitSeed) so parallel code can hand
-// every independent unit of work its own RNG stream.
-//
-// Everything here is designed around one invariant: results must be
-// bit-identical regardless of the worker count. The helpers guarantee that
-// by construction — workers only ever write to disjoint, index-addressed
-// destinations, and randomness is never drawn from a shared stream inside a
-// pool; it is split up front with SplitSeed. DESIGN.md ("Concurrency
-// model") documents the scheme.
 package parallel
 
 import (
 	"context"
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
 // Workers resolves a requested worker count: values <= 0 mean "one per
@@ -29,100 +16,33 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// ForEach calls fn(i) for every i in [0, n) across a pool of the given size
-// (<= 0 means Workers(0)). Iterations are claimed dynamically, so uneven
-// per-index cost still load-balances. With one worker — or n <= 1 — it runs
-// inline with no goroutines at all, so the sequential path has zero
-// scheduling overhead.
+// ForEach calls fn(i) for every i in [0, n) across the shared persistent
+// pool with up to the given width (<= 0 means Workers(0)). Iterations are
+// claimed dynamically, so uneven per-index cost still load-balances. With
+// one worker — or n <= 1 — it runs inline with no goroutines at all, so the
+// sequential path has zero scheduling overhead; wider calls wake parked
+// pool workers instead of spawning, so the steady state spawns no
+// goroutines either (see Pool).
 //
 // fn must only write to destinations owned by index i (its row, its slot):
 // under that contract the result is bit-identical for every worker count.
 // ForEach returns only after every call has completed.
 func ForEach(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	w := Workers(workers)
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	defaultPool.ForEach(n, workers, fn)
 }
 
-// ForEachCtx is ForEach with cooperative cancellation: workers stop claiming
-// new indices once ctx is done, wait for in-flight calls to finish, and the
-// call returns ctx.Err(). Indices already claimed still run to completion, so
-// fn's disjoint-write contract is unchanged; on cancellation the partially
-// written destinations must simply be discarded by the caller.
+// ForEachCtx is ForEach with cooperative cancellation: participants stop
+// claiming new indices once ctx is done, in-flight calls finish, and the
+// call returns ctx.Err(). Indices already claimed still run to completion,
+// so fn's disjoint-write contract is unchanged; on cancellation the
+// partially written destinations must simply be discarded by the caller.
 //
 // A nil ctx selects the zero-context path, which is exactly ForEach: no
 // cancellation checks, nil error. The bit-identity guarantee holds either
-// way — cancellation changes which indices run, never what an index computes.
+// way — cancellation changes which indices run, never what an index
+// computes.
 func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
-	if ctx == nil {
-		ForEach(n, workers, fn) //rfvet:allow ctxflow -- nil-ctx fast path: there is no context to thread
-		return nil
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if n <= 0 {
-		return nil
-	}
-	w := Workers(workers)
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			fn(i)
-		}
-		return nil
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return ctx.Err()
+	return defaultPool.ForEachCtx(ctx, n, workers, fn)
 }
 
 // Group runs heterogeneous tasks with bounded concurrency and first-error

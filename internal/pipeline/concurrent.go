@@ -94,7 +94,7 @@ func (p *Pipeline) RunConcurrent(ctx context.Context, depth int) (frames int, er
 				fail(i, -1, err)
 				return
 			}
-			chans[0] <- &Item{Index: i, Frame: f}
+			chans[0] <- p.getItem(i, f)
 		}
 	}()
 	// One goroutine per stage: receive, process, forward. After a failure
@@ -128,6 +128,7 @@ func (p *Pipeline) RunConcurrent(ctx context.Context, depth int) (frames int, er
 	for it := range chans[len(p.stages)] {
 		frames++
 		p.recycle(it)
+		p.putItem(it)
 	}
 	wg.Wait()
 

@@ -1,0 +1,46 @@
+// Package pipeline runs the scene→fmcw→radar→tracker chain as a streaming
+// pipeline: a Source emits one *fmcw.Frame at a time and a chain of
+// composable Stages processes each frame before the next is synthesized, so
+// a capture of any length runs with O(1) frames in flight (plus the one
+// frame of background-subtraction history inside radar.FrontEnd). A
+// context.Context threads through the source and every stage, so a capture
+// can be canceled or timed out mid-stream.
+//
+// The contract with the batch path is strict equivalence: for the same
+// scene, seed, and configuration, streaming a capture frame by frame
+// produces bit-identical frames, profiles, detections, tracks, and
+// breathing-phase series to Scene.Capture + Processor.ProcessFrames +
+// radar.TrackDetections + BreathingExtractor.PhaseSeries. That holds by
+// construction — the batch functions are thin wrappers over the same
+// per-frame step APIs the stages call (scene.FrameStream, radar.FrontEnd,
+// radar.PhaseStream) — and is enforced by the golden equivalence test in
+// this package. DESIGN.md ("Streaming pipeline") documents the stage graph
+// and cancellation semantics.
+//
+// # Execution modes
+//
+// Run drives the chain sequentially on the caller's goroutine;
+// RunConcurrent gives every stage its own goroutine connected by bounded
+// channels, overlapping stage N of frame i with stage 1 of frame i+k while
+// preserving bit-identical output and delivery order. Both share the same
+// error and cancellation semantics.
+//
+// # Steady-state allocation
+//
+// A pooled assembly — scene.FrameStream.UsePool + FrontEndStagesPooled +
+// Pipeline.UsePools — recycles every buffer (frames, diffs, profiles,
+// Doppler maps) through Pools, and the pipeline recycles its per-frame Item
+// records through an internal free list, so the steady-state frame path of
+// Run allocates exactly nothing (enforced by an AllocsPerRun test). Buffer
+// ownership follows DESIGN.md "Buffer ownership & pooling": the pipeline
+// recycles at the sink, error-path buffers fall to the GC.
+//
+// A typical assembly:
+//
+//	pr := radar.NewProcessor(radar.DefaultConfig())
+//	trk := pipeline.NewTrack(radar.TrackerConfig{})
+//	stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
+//	p := pipeline.New(sc.Stream(0, nFrames, rng), stages...)
+//	if _, err := p.Run(ctx); err != nil { ... }
+//	tracks := trk.Tracks()
+package pipeline

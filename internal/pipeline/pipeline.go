@@ -1,35 +1,9 @@
-// Package pipeline runs the scene→fmcw→radar→tracker chain as a streaming
-// pipeline: a Source emits one *fmcw.Frame at a time and a chain of
-// composable Stages processes each frame before the next is synthesized, so
-// a capture of any length runs with O(1) frames in flight (plus the one
-// frame of background-subtraction history inside radar.FrontEnd). A
-// context.Context threads through the source and every stage, so a capture
-// can be canceled or timed out mid-stream.
-//
-// The contract with the batch path is strict equivalence: for the same
-// scene, seed, and configuration, streaming a capture frame by frame
-// produces bit-identical frames, profiles, detections, tracks, and
-// breathing-phase series to Scene.Capture + Processor.ProcessFrames +
-// radar.TrackDetections + BreathingExtractor.PhaseSeries. That holds by
-// construction — the batch functions are thin wrappers over the same
-// per-frame step APIs the stages call (scene.FrameStream, radar.FrontEnd,
-// radar.PhaseStream) — and is enforced by the golden equivalence test in
-// this package. DESIGN.md ("Streaming pipeline") documents the stage graph
-// and cancellation semantics.
-//
-// A typical assembly:
-//
-//	pr := radar.NewProcessor(radar.DefaultConfig())
-//	trk := pipeline.NewTrack(radar.TrackerConfig{})
-//	stages := append(pipeline.FrontEndStages(pr, sc.Radar), trk)
-//	p := pipeline.New(sc.Stream(0, nFrames, rng), stages...)
-//	if _, err := p.Run(ctx); err != nil { ... }
-//	tracks := trk.Tracks()
 package pipeline
 
 import (
 	"context"
 	"io"
+	"sync"
 
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/radar"
@@ -77,6 +51,47 @@ type Pipeline struct {
 	src    Source
 	stages []Stage
 	pools  *Pools
+
+	// itemFree recycles the per-frame Item records: an item goes back on
+	// the list once its last stage has run (and its pooled buffers have
+	// been recycled), so the steady state of Run and RunConcurrent holds
+	// exactly one live Item per in-flight frame and allocates none. Safe
+	// under the Stage contract — stages must not retain the Item beyond
+	// Process (retaining the slices and buffers it points at is a separate,
+	// already-documented concern of the pooling contract). A mutex free
+	// list rather than sync.Pool for the same reason fmcw.FramePool uses
+	// one: the GC never empties it, so AllocsPerRun tests can assert an
+	// exact zero.
+	itemMu   sync.Mutex
+	itemFree []*Item
+}
+
+// getItem pops a recycled Item (or allocates the first few) and stamps it
+// as frame i carrying f; every other field starts zero, exactly like the
+// &Item{...} literal it replaces.
+func (p *Pipeline) getItem(i int, f *fmcw.Frame) *Item {
+	p.itemMu.Lock()
+	var it *Item
+	if n := len(p.itemFree); n > 0 {
+		it = p.itemFree[n-1]
+		p.itemFree[n-1] = nil
+		p.itemFree = p.itemFree[:n-1]
+	}
+	p.itemMu.Unlock()
+	if it == nil {
+		return &Item{Index: i, Frame: f}
+	}
+	*it = Item{Index: i, Frame: f}
+	return it
+}
+
+// putItem returns an item whose stage chain has completed. Items on the
+// error/abort path are never put back — like half-processed buffers, they
+// simply drop to the GC.
+func (p *Pipeline) putItem(it *Item) {
+	p.itemMu.Lock()
+	p.itemFree = append(p.itemFree, it)
+	p.itemMu.Unlock()
 }
 
 // New assembles a pipeline. Stages run in the given order for every frame.
@@ -161,7 +176,7 @@ func (p *Pipeline) Run(ctx context.Context) (frames int, err error) {
 		if err != nil {
 			return i, err
 		}
-		it := &Item{Index: i, Frame: f}
+		it := p.getItem(i, f)
 		for _, st := range p.stages {
 			if err := st.Process(ctx, it); err != nil {
 				// The failed item's buffers are NOT recycled — on the error
@@ -171,6 +186,7 @@ func (p *Pipeline) Run(ctx context.Context) (frames int, err error) {
 			}
 		}
 		p.recycle(it)
+		p.putItem(it)
 	}
 }
 
