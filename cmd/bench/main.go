@@ -266,6 +266,22 @@ func runSnapshot(minDur time.Duration, seed int64, streamLens []int, quick bool)
 	fftTo := measure(minDur, func() { dsp.FFTTo(buf, x) })
 	add("fft_512_to", 1, fftTo, true)
 
+	// Real-input FFT: the half-spectrum transform (pack-two-reals over a
+	// size-256 complex FFT) against the full complex transform above, plain
+	// and with the window fused into the pack. Both reuse the cached plan
+	// and allocate nothing.
+	rx := make([]float64, len(x))
+	for i, v := range x {
+		rx[i] = real(v)
+	}
+	half := make([]complex128, len(x)/2+1)
+	rfftS := measure(minDur, func() { dsp.RFFTTo(half, rx) })
+	add("rfft_512_to", 1, rfftS, true)
+	snap.Speedups["rfft_vs_fft"] = fftTo.ns / rfftS.ns
+	hann := dsp.Hann.Coefficients(len(x))
+	wrfftS := measure(minDur, func() { dsp.WindowedRFFTTo(half, rx, hann) })
+	add("windowed_rfft_512", 1, wrfftS, true)
+
 	// Plan construction cost, for the record: transform a size the process
 	// has never seen, forcing a cold plan build, vs the warm transform.
 	// (Each iteration uses a fresh odd size, so every call builds a plan.)
@@ -325,15 +341,15 @@ func runSnapshot(minDur time.Duration, seed int64, streamLens []int, quick bool)
 
 	cfg := radar.DefaultConfig()
 	cfg.Workers = 1
-	pr := radar.NewProcessor(cfg)
+	plan := radar.CompileFrontEndPlan(cfg, params)
 	diffFrame := frameA.Sub(frameB)
 	prof := &radar.Profile{}
 	raS := measure(minDur, func() {
-		if err := pr.RangeAngleInto(nil, diffFrame, prof); err != nil {
+		if err := plan.RangeAngleInto(nil, diffFrame, prof); err != nil {
 			fatal("range-angle-into", err)
 		}
 	})
-	add("range_angle_into_pooled", 1, raS, true)
+	add("range_angle_plan_pooled", 1, raS, true)
 
 	chirps := make([]*fmcw.Frame, 8)
 	for i := range chirps {
@@ -341,11 +357,11 @@ func runSnapshot(minDur time.Duration, seed int64, streamLens []int, quick bool)
 	}
 	var rdMap radar.RangeDopplerMap
 	rdS := measure(minDur, func() {
-		if err := pr.RangeDopplerInto(nil, &rdMap, chirps, 0, 1/params.FrameRate); err != nil {
+		if err := plan.RangeDopplerInto(nil, &rdMap, chirps, 0, 1/params.FrameRate); err != nil {
 			fatal("range-doppler-into", err)
 		}
 	})
-	add("doppler_into_win8_pooled", 1, rdS, true)
+	add("doppler_win8_specialized", 1, rdS, true)
 
 	// The pipeline's own per-frame machinery — source pull, Item checkout
 	// from the free list, stage dispatch, recycle, Item return — over a

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -13,6 +14,16 @@ import (
 	"sort"
 	"strings"
 )
+
+// matchFile reports whether the compiler would include name when building
+// the package in dir on this host: filename suffixes (_amd64.go, _linux.go)
+// and //go:build constraints both apply. Without this, per-arch variants
+// (e.g. the radar beamforming AVX declarations and their !amd64 stubs)
+// would redeclare symbols inside one loaded package.
+func matchFile(dir, name string) bool {
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
+}
 
 // Package is one parsed and type-checked package of the analyzed module.
 type Package struct {
@@ -176,7 +187,7 @@ func hasGoFiles(dir string) bool {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") && matchFile(dir, name) {
 			return true
 		}
 	}
@@ -234,6 +245,9 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !matchFile(dir, name) {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)

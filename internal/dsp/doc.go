@@ -26,6 +26,20 @@
 // FFTEach/IFFTEach transform a batch of rows concurrently, and ParallelMap
 // generalizes that to any per-row kernel.
 //
+// # Real-input FFT conventions
+//
+// RFFT/RFFTTo exploit the conjugate symmetry of a real signal's spectrum —
+// X[N−k] = conj(X[k]) — and return only the RFFTLen(N) = N/2+1
+// non-negative-frequency bins. Power-of-two lengths pack even/odd samples
+// into one half-length complex transform and unpack with a single twiddle
+// pass (about half the work of the complex path, equal up to rounding);
+// other lengths widen into pooled scratch and are bit-identical to the
+// complex transform's half spectrum. WindowedRFFTTo (and, on the complex
+// side, WindowedFFTTo) fuse the window multiply into the transform's first
+// pass: same bits as window-then-transform, one fewer pass over the data.
+// Real-input plans are cached per size alongside the complex plans, and all
+// *To forms are allocation-free once their plan exists.
+//
 // # Window conventions
 //
 // Window.Coefficients(n) returns the full (periodic-symmetric) n-point

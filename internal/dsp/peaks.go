@@ -68,12 +68,49 @@ type Peak2D struct {
 // FindPeaks2D returns local maxima of the rows×cols grid g (row-major) with
 // value >= minValue, enforcing a Chebyshev separation of minDistance cells
 // against larger accepted peaks. A cell is a local maximum if no 8-neighbor
-// exceeds it.
+// exceeds it. It is the allocating convenience over Peak2DFinder.Find.
 func FindPeaks2D(g []float64, rows, cols int, minValue float64, minDistance int) []Peak2D {
+	var f Peak2DFinder
+	return f.Find(g, rows, cols, minValue, minDistance)
+}
+
+// Peak2DFinder is reusable scratch for 2-D peak extraction: candidate and
+// output buffers survive between Find calls, so a warmed-up finder performs
+// no allocations. The zero value is ready to use. A finder is not safe for
+// concurrent use; give each goroutine its own.
+type Peak2DFinder struct {
+	cands []Peak2D
+	out   []Peak2D
+}
+
+// Peak2DFinder sorts its candidate buffer through sort.Interface on the
+// finder pointer itself — the interface conversion of a pointer does not
+// allocate, unlike boxing a slice or a sort.Slice closure. The comparator
+// (value desc, then row asc, then col asc) is a total order over distinct
+// grid cells, so the sorted order — and therefore Find's result — is unique
+// and identical to what FindPeaks2D has always returned.
+
+func (f *Peak2DFinder) Len() int      { return len(f.cands) }
+func (f *Peak2DFinder) Swap(i, j int) { f.cands[i], f.cands[j] = f.cands[j], f.cands[i] }
+func (f *Peak2DFinder) Less(i, j int) bool {
+	a, b := &f.cands[i], &f.cands[j]
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	return a.Col < b.Col
+}
+
+// Find runs the FindPeaks2D extraction using the finder's scratch. The
+// returned slice aliases the finder and is valid until the next Find call;
+// callers that keep peaks across calls must copy them out.
+func (f *Peak2DFinder) Find(g []float64, rows, cols int, minValue float64, minDistance int) []Peak2D {
 	if minDistance < 1 {
 		minDistance = 1
 	}
-	var cands []Peak2D
+	cands := f.cands[:0]
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			v := g[r*cols+c]
@@ -101,17 +138,10 @@ func FindPeaks2D(g []float64, rows, cols int, minValue float64, minDistance int)
 			}
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].Value != cands[b].Value {
-			return cands[a].Value > cands[b].Value
-		}
-		if cands[a].Row != cands[b].Row {
-			return cands[a].Row < cands[b].Row
-		}
-		return cands[a].Col < cands[b].Col
-	})
-	var out []Peak2D
-	for _, cd := range cands {
+	f.cands = cands
+	sort.Sort(f)
+	out := f.out[:0]
+	for _, cd := range f.cands {
 		ok := true
 		for _, p := range out {
 			dr := cd.Row - p.Row
@@ -135,6 +165,7 @@ func FindPeaks2D(g []float64, rows, cols int, minValue float64, minDistance int)
 			out = append(out, cd)
 		}
 	}
+	f.out = out
 	return out
 }
 

@@ -47,8 +47,9 @@ func WrapAngle(a float64) float64 {
 }
 
 // DominantFrequency estimates the strongest nonzero frequency component of a
-// real series sampled at fs Hz, using an FFT with quadratic peak
-// interpolation. It returns 0 for series shorter than 4 samples.
+// real series sampled at fs Hz, using a windowed real-input FFT with
+// quadratic peak interpolation. It returns 0 for series shorter than 4
+// samples.
 func DominantFrequency(x []float64, fs float64) float64 {
 	n := len(x)
 	if n < 4 {
@@ -56,13 +57,12 @@ func DominantFrequency(x []float64, fs float64) float64 {
 	}
 	// Remove the mean so the DC bin does not dominate.
 	m := Mean(x)
-	c := make([]complex128, n)
+	c := make([]float64, n)
 	for i, v := range x {
-		c[i] = complex(v-m, 0)
+		c[i] = v - m
 	}
-	Hann.Apply(c)
-	FFTInPlace(c)
-	mag := Magnitude(c[:n/2])
+	spec := WindowedRFFT(c, Hann.Coefficients(n))
+	mag := Magnitude(spec[:n/2])
 	best, bestVal := 0, 0.0
 	for i := 1; i < len(mag); i++ {
 		if mag[i] > bestVal {

@@ -1,0 +1,215 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// This file implements the real-input DFT. A real signal's spectrum is
+// conjugate-symmetric — X[n-k] = conj(X[k]) — so only the first n/2+1 bins
+// carry information. For power-of-two lengths the transform runs a single
+// complex FFT of HALF the length: the even/odd samples are packed as
+// z[k] = x[2k] + i·x[2k+1], transformed, and the two interleaved real
+// spectra are separated and recombined with one unpack pass. Odd and
+// Bluestein lengths fall back to widening the input into pooled complex
+// scratch and keeping the first half of the full transform.
+
+// RFFTLen returns the number of meaningful spectrum bins of a real-input
+// transform of length n: n/2 + 1 (the non-negative frequencies; the rest of
+// the spectrum is their conjugate mirror).
+func RFFTLen(n int) int { return n/2 + 1 }
+
+// rfftPlan caches the size-dependent pieces of one real-input transform
+// length: the unpack twiddles e^{-2πik/n} for the packed fast path, plus a
+// pooled scratch free list (length n/2 packed buffers on the fast path, or
+// length-n widening buffers on the fallback). Like the other plan pools the
+// free list is mutex-guarded, never emptied by the GC, so warmed-up callers
+// see a deterministic zero allocs/op.
+type rfftPlan struct {
+	n    int
+	pack int          // scratch length: n/2 on the packed fast path, n on the fallback
+	tw   []complex128 // unpack twiddles e^{-2πik/n}, k = 0..n/2; nil selects the fallback
+
+	mu      sync.Mutex
+	scratch [][]complex128
+}
+
+var rfftPlans = map[int]*rfftPlan{}
+
+// rfftPlanFor returns the cached real-input plan for length n, building it
+// on first use under the same build-outside-the-lock discipline as planFor.
+func rfftPlanFor(n int) *rfftPlan {
+	planMu.RLock()
+	p := rfftPlans[n]
+	planMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = newRFFTPlan(n)
+	planMu.Lock()
+	if q, ok := rfftPlans[n]; ok {
+		p = q
+	} else {
+		rfftPlans[n] = p
+	}
+	planMu.Unlock()
+	return p
+}
+
+func newRFFTPlan(n int) *rfftPlan {
+	p := &rfftPlan{n: n, pack: n}
+	if IsPowerOfTwo(n) && n >= 2 {
+		p.pack = n / 2
+		p.tw = make([]complex128, n/2+1)
+		for k := range p.tw {
+			p.tw[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		}
+		if p.pack > 1 {
+			planFor(p.pack) // warm the half-length complex plan
+		}
+	} else if n > 1 {
+		bluesteinPlanFor(n) // warm the widening fallback's plan
+	}
+	return p
+}
+
+func (p *rfftPlan) getScratch() []complex128 {
+	p.mu.Lock()
+	if k := len(p.scratch); k > 0 {
+		a := p.scratch[k-1]
+		p.scratch[k-1] = nil
+		p.scratch = p.scratch[:k-1]
+		p.mu.Unlock()
+		return a
+	}
+	p.mu.Unlock()
+	return make([]complex128, p.pack)
+}
+
+func (p *rfftPlan) putScratch(a []complex128) {
+	p.mu.Lock()
+	p.scratch = append(p.scratch, a)
+	p.mu.Unlock()
+}
+
+// RFFT computes the DFT of the real signal x and returns the n/2+1
+// non-negative-frequency bins as a new slice. It is the allocating wrapper
+// over RFFTTo.
+func RFFT(x []float64) []complex128 {
+	return RFFTTo(make([]complex128, RFFTLen(len(x))), x)
+}
+
+// RFFTTo computes the DFT of the real signal x into dst and returns dst.
+// dst must have length RFFTLen(len(x)) = len(x)/2+1 (the call panics
+// otherwise). Each returned bin matches the corresponding bin of the
+// complex transform FFTTo applied to x widened to complex, up to
+// floating-point rounding: power-of-two lengths use the half-length packed
+// transform (different — cheaper — arithmetic, same spectrum), while other
+// lengths widen internally and are bit-identical to the complex path.
+// After the per-size plan is cached, RFFTTo performs no allocations.
+func RFFTTo(dst []complex128, x []float64) []complex128 {
+	if len(dst) != RFFTLen(len(x)) {
+		panic("dsp: RFFTTo with mismatched lengths")
+	}
+	return rfftTo(dst, x, nil)
+}
+
+// WindowedRFFT computes the DFT of the element-wise product x·win and
+// returns the half spectrum as a new slice. It is the allocating wrapper
+// over WindowedRFFTTo.
+func WindowedRFFT(x, win []float64) []complex128 {
+	return WindowedRFFTTo(make([]complex128, RFFTLen(len(x))), x, win)
+}
+
+// WindowedRFFTTo computes the DFT of the element-wise product x·win into
+// dst and returns dst, fusing the window multiply into the transform's pack
+// (or widening) pass so the windowed samples are never materialized. win
+// must have the same length as x and dst must have length RFFTLen(len(x)).
+func WindowedRFFTTo(dst []complex128, x, win []float64) []complex128 {
+	if len(win) != len(x) {
+		panic("dsp: WindowedRFFTTo with mismatched window length")
+	}
+	if len(dst) != RFFTLen(len(x)) {
+		panic("dsp: WindowedRFFTTo with mismatched lengths")
+	}
+	return rfftTo(dst, x, win)
+}
+
+// rfftTo is the shared kernel behind RFFTTo and WindowedRFFTTo; a nil win
+// selects the unwindowed transform.
+func rfftTo(dst []complex128, x, win []float64) []complex128 {
+	n := len(x)
+	switch n {
+	case 0:
+		dst[0] = 0
+		return dst
+	case 1:
+		if win != nil {
+			dst[0] = complex(x[0]*win[0], 0)
+		} else {
+			dst[0] = complex(x[0], 0)
+		}
+		return dst
+	}
+	p := rfftPlanFor(n)
+	if p.tw == nil {
+		// Fallback (odd / Bluestein lengths): widen into pooled complex
+		// scratch, run the full transform, keep the half spectrum.
+		buf := p.getScratch()
+		if win != nil {
+			for i, v := range x {
+				buf[i] = complex(v*win[i], 0)
+			}
+		} else {
+			for i, v := range x {
+				buf[i] = complex(v, 0)
+			}
+		}
+		fftInPlace(buf, false)
+		copy(dst, buf[:n/2+1])
+		p.putScratch(buf)
+		return dst
+	}
+
+	// Fast path: pack even/odd samples into one half-length complex signal.
+	n2 := n / 2
+	z := p.getScratch()
+	if win != nil {
+		for k := 0; k < n2; k++ {
+			z[k] = complex(x[2*k]*win[2*k], x[2*k+1]*win[2*k+1])
+		}
+	} else {
+		for k := 0; k < n2; k++ {
+			z[k] = complex(x[2*k], x[2*k+1])
+		}
+	}
+	fftInPlace(z, false)
+
+	// Unpack: with E/O the spectra of the even/odd sample streams,
+	// Z[k] = E[k] + i·O[k], so conjugate symmetry separates them:
+	//   E[k] = (Z[k] + conj(Z[n2-k]))/2
+	//   O[k] = (Z[k] - conj(Z[n2-k]))/(2i)
+	// and the full-length spectrum recombines as X[k] = E[k] + w^k·O[k]
+	// with w = e^{-2πi/n}. Indices are taken mod n2 so k = 0 and k = n2
+	// (the DC and Nyquist bins) reuse Z[0].
+	for k := 0; k <= n2; k++ {
+		i := k
+		if i == n2 {
+			i = 0
+		}
+		j := n2 - k
+		if j == n2 {
+			j = 0
+		}
+		zk, zc := z[i], z[j]
+		er := 0.5 * (real(zk) + real(zc))
+		ei := 0.5 * (imag(zk) - imag(zc))
+		or := 0.5 * (imag(zk) + imag(zc))
+		oi := 0.5 * (real(zc) - real(zk))
+		w := p.tw[k]
+		dst[k] = complex(er+real(w)*or-imag(w)*oi, ei+real(w)*oi+imag(w)*or)
+	}
+	p.putScratch(z)
+	return dst
+}

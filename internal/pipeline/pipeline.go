@@ -67,8 +67,11 @@ type Pipeline struct {
 }
 
 // getItem pops a recycled Item (or allocates the first few) and stamps it
-// as frame i carrying f; every other field starts zero, exactly like the
-// &Item{...} literal it replaces.
+// as frame i carrying f. Every field starts zero like the &Item{...} literal
+// it replaces, except that the Detections backing array survives (emptied)
+// so a buffer-reusing peak stage (NewPeakExtractPooled) appends into it
+// without allocating; the default PeakExtractStage overwrites the field with
+// a fresh slice and never reads the recycled one.
 func (p *Pipeline) getItem(i int, f *fmcw.Frame) *Item {
 	p.itemMu.Lock()
 	var it *Item
@@ -81,7 +84,9 @@ func (p *Pipeline) getItem(i int, f *fmcw.Frame) *Item {
 	if it == nil {
 		return &Item{Index: i, Frame: f}
 	}
+	dets := it.Detections
 	*it = Item{Index: i, Frame: f}
+	it.Detections = dets[:0]
 	return it
 }
 

@@ -184,3 +184,130 @@ func TestStagesZeroAllocsSteadyState(t *testing.T) {
 		t.Fatalf("pooled stage chain allocates %v per frame in steady state, want 0", allocs)
 	}
 }
+
+// copyingCollector accumulates per-frame detection sets by value, safe in a
+// chain whose peak stage reuses the detection backing (FrontEndStagesPlanned).
+type copyingCollector struct{ dets [][]radar.Detection }
+
+func (c *copyingCollector) Name() string { return "copy-detections" }
+
+func (c *copyingCollector) Process(ctx context.Context, it *Item) error {
+	if it.HasDets {
+		cp := make([]radar.Detection, len(it.Detections))
+		copy(cp, it.Detections)
+		c.dets = append(c.dets, cp)
+	}
+	return nil
+}
+
+// TestPlannedEquivalentToUnpooled is the golden contract of the fully
+// compiled chain: FrontEndStagesPlanned + NewDopplerPlanned over one shared
+// plan must produce the same detections and tracks as the allocating
+// FrontEndStages run, for the sequential and the concurrent runner.
+func TestPlannedEquivalentToUnpooled(t *testing.T) {
+	const nFrames = 18
+	const seed = 11
+	s := testSession(t)
+	params, array := s.Scene.Params, s.Scene.Radar
+	want := runPooledChain(t, s.Scene, params, array, nFrames, seed, 0, 0, false)
+
+	for _, depth := range []int{0, 4} { // 0 = sequential Run
+		cfg := radar.DefaultConfig()
+		cfg.Workers = 1
+		plan := radar.CompileFrontEndPlan(cfg, params)
+		pools := NewPools(params)
+		detsC := &copyingCollector{}
+		trk := NewTrackWithVelocity(radar.TrackerConfig{}, array)
+		stages := FrontEndStagesPlanned(plan, array, pools)
+		stages = append(stages, NewDopplerPlanned(plan, 6, 0, pools.Doppler), trk, detsC)
+		src := s.Scene.Stream(0, nFrames, rand.New(rand.NewSource(seed))).UsePool(pools.Frames).UseWorkers(1)
+		p := New(src, stages...).UsePools(pools)
+		var n int
+		var err error
+		if depth > 0 {
+			n, err = p.RunConcurrent(context.Background(), depth)
+		} else {
+			n, err = p.Run(context.Background())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want.frames {
+			t.Fatalf("depth=%d: %d frames, want %d", depth, n, want.frames)
+		}
+		if !reflect.DeepEqual(detsC.dets, want.dets) {
+			t.Fatalf("depth=%d: planned detections differ from unpooled", depth)
+		}
+		tracks := trk.Tracks()
+		if len(tracks) != len(want.tracks) {
+			t.Fatalf("depth=%d: %d tracks, want %d", depth, len(tracks), len(want.tracks))
+		}
+		for i := range want.tracks {
+			if !reflect.DeepEqual(tracks[i].Points, want.tracks[i].Points) {
+				t.Fatalf("depth=%d: track %d differs", depth, i)
+			}
+		}
+	}
+}
+
+// TestPlannedChainZeroAllocsSteadyState drives the complete compiled chain —
+// subtract, beamform, peak-extract with detection-buffer reuse, Doppler,
+// tracking — and asserts a warmed-up frame allocates nothing anywhere.
+func TestPlannedChainZeroAllocsSteadyState(t *testing.T) {
+	p := fmcw.DefaultParams()
+	p.SampleRate = 128e3 // 64 samples per chirp keeps the guard fast
+	p.NumAntennas = 4
+	array := fmcw.Array{Facing: 1}
+	rng := rand.New(rand.NewSource(3))
+	var templates []*fmcw.Frame
+	for i := 0; i < 4; i++ {
+		rets := []fmcw.Return{
+			array.ReturnFrom(geom.Point{X: 1.5, Y: 3.5}, 1, 0, rng.Float64()),
+		}
+		templates = append(templates, fmcw.Synthesize(p, rets, float64(i)/p.FrameRate, rng))
+	}
+
+	cfg := radar.DefaultConfig()
+	cfg.Workers = 1
+	plan := radar.CompileFrontEndPlan(cfg, p)
+	pools := NewPools(p)
+	stages := FrontEndStagesPlanned(plan, array, pools)
+	stages = append(stages, NewDopplerPlanned(plan, len(templates), 0, pools.Doppler))
+	tcfg := radar.TrackerConfig{ConfirmHits: 1, MinTrackPoints: 1}
+	trk := NewTrack(tcfg)
+	stages = append(stages, trk)
+
+	var it Item
+	var detBuf []radar.Detection
+	step := func(i int) {
+		f := pools.Frames.Get(float64(i) / p.FrameRate)
+		f.CopyFrom(templates[i%len(templates)])
+		it = Item{Index: i, Frame: f}
+		it.Detections = detBuf[:0] // what getItem's recycling preserves
+		for _, st := range stages {
+			if err := st.Process(nil, &it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		detBuf = it.Detections
+		pools.Frames.Put(it.Frame)
+		pools.Frames.Put(it.Diff)
+		pools.Profiles.Put(it.Profile)
+		pools.Doppler.Put(it.RangeDoppler)
+	}
+	for i := 0; i < 16; i++ { // warm every pool, window, and track
+		step(i)
+	}
+	for _, tr := range trk.Tracks() { // pre-grow point history past the run
+		pts := make([]radar.TimedPoint, len(tr.Points), len(tr.Points)+4096)
+		copy(pts, tr.Points)
+		tr.Points = pts
+	}
+	i := 16
+	if allocs := testing.AllocsPerRun(100, func() {
+		step(i)
+		i++
+	}); allocs != 0 {
+		t.Fatalf("planned chain allocates %v per frame in steady state, want 0", allocs)
+	}
+}

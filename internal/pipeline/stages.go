@@ -85,6 +85,12 @@ func (s *RangeAngleStage) Process(ctx context.Context, it *Item) error {
 type PeakExtractStage struct {
 	pr    *radar.Processor
 	array fmcw.Array
+	// reuse makes Process append into the item's recycled Detections backing
+	// via DetectInto instead of allocating a fresh slice per frame. Values
+	// are bit-identical either way; with reuse the detections are only valid
+	// while the item is in flight, so — like pooled profiles — a reusing
+	// chain is incompatible with collectors that retain the slices.
+	reuse bool
 }
 
 // NewPeakExtract returns a detection stage mapping peaks to world
@@ -93,13 +99,24 @@ func NewPeakExtract(pr *radar.Processor, array fmcw.Array) *PeakExtractStage {
 	return &PeakExtractStage{pr: pr, array: array}
 }
 
+// NewPeakExtractPooled returns a detection stage that fills each item's
+// recycled Detections buffer through the plan's DetectInto, so its steady
+// state allocates nothing. See the reuse field for the retention caveat.
+func NewPeakExtractPooled(pl *radar.FrontEndPlan, array fmcw.Array) *PeakExtractStage {
+	return &PeakExtractStage{pr: radar.NewProcessorWithPlan(pl), array: array, reuse: true}
+}
+
 func (s *PeakExtractStage) Name() string { return "peak-extract" }
 
 func (s *PeakExtractStage) Process(ctx context.Context, it *Item) error {
 	if it.Profile == nil {
 		return nil
 	}
-	it.Detections = s.pr.Detect(it.Profile, s.array)
+	if s.reuse {
+		it.Detections = s.pr.Plan(it.Profile.Params).DetectInto(it.Detections, it.Profile, s.array)
+	} else {
+		it.Detections = s.pr.Detect(it.Profile, s.array)
+	}
 	it.HasDets = true
 	return nil
 }
@@ -121,6 +138,36 @@ func FrontEndStagesPooled(pr *radar.Processor, array fmcw.Array, pl *Pools) []St
 		NewBackgroundSubtractPooled(pl.Frames),
 		NewRangeAnglePooled(pr, pl.Profiles),
 		NewPeakExtract(pr, array),
+	}
+}
+
+// NewRangeAnglePlanned is NewRangeAnglePooled over a shared compiled plan:
+// the stage serves frames of the plan's shape through it (a shape change
+// transparently compiles a private plan, like any Processor).
+func NewRangeAnglePlanned(pl *radar.FrontEndPlan, pool *radar.ProfilePool) *RangeAngleStage {
+	return &RangeAngleStage{pr: radar.NewProcessorWithPlan(pl), pool: pool}
+}
+
+// NewDopplerPlanned is NewDopplerPooled over a shared compiled plan.
+func NewDopplerPlanned(pl *radar.FrontEndPlan, window, antenna int, pool *radar.DopplerPool) *DopplerStage {
+	s := NewDoppler(radar.NewProcessorWithPlan(pl), window, antenna)
+	s.pool = pool
+	return s
+}
+
+// FrontEndStagesPlanned is the fully compiled front end: every kernel runs
+// through the shared plan and every steady-state buffer — difference frames,
+// profiles, detection slices — is recycled, so the whole chain allocates
+// nothing per frame once warm. Detection values are bit-identical to
+// FrontEndStages; the detections-retention caveat of NewPeakExtractPooled
+// applies. The N-room daemon assembles each room from one plan per
+// params-shape with exactly this chain.
+func FrontEndStagesPlanned(pl *radar.FrontEndPlan, array fmcw.Array, pools *Pools) []Stage {
+	pr := radar.NewProcessorWithPlan(pl)
+	return []Stage{
+		NewBackgroundSubtractPooled(pools.Frames),
+		NewRangeAnglePooled(pr, pools.Profiles),
+		&PeakExtractStage{pr: pr, array: array, reuse: true},
 	}
 }
 

@@ -78,23 +78,38 @@ func TestMinRangeExcludesCloseTargets(t *testing.T) {
 	}
 }
 
-func TestSteeringCacheReuse(t *testing.T) {
+func TestPlanCacheReuse(t *testing.T) {
 	p := quietParams()
 	pr := NewProcessor(DefaultConfig())
 	fr := fmcw.Synthesize(p, nil, 0, nil)
 	pr.RangeAngle(fr)
-	first := pr.steering
+	first := pr.plan
+	if first == nil {
+		t.Fatal("no plan compiled")
+	}
 	pr.RangeAngle(fr)
-	if &pr.steering[0][0] != &first[0][0] {
-		t.Fatal("steering table rebuilt for identical params")
+	if pr.plan != first {
+		t.Fatal("plan recompiled for identical params")
+	}
+	if pr.Plan(p) != first {
+		t.Fatal("Plan() recompiled for identical params")
 	}
 	// Changing params invalidates the cache.
 	p2 := p
 	p2.CenterFreq = 7e9
 	fr2 := fmcw.Synthesize(p2, nil, 0, nil)
 	pr.RangeAngle(fr2)
-	if &pr.steering[0][0] == &first[0][0] {
-		t.Fatal("steering table not rebuilt for new params")
+	if pr.plan == first {
+		t.Fatal("plan not recompiled for new params")
+	}
+	// A processor built around a shared plan starts on that plan.
+	shared := CompileFrontEndPlan(DefaultConfig(), p)
+	pr2 := NewProcessorWithPlan(shared)
+	if pr2.Plan(p) != shared {
+		t.Fatal("NewProcessorWithPlan did not adopt the shared plan")
+	}
+	if got := pr2.Config().AngleBins; got != shared.Config().AngleBins {
+		t.Fatalf("processor config not adopted from plan: %d", got)
 	}
 }
 

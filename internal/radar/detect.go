@@ -20,9 +20,25 @@ type Detection struct {
 // Detect extracts target detections from a range–angle profile: 2-D local
 // maxima above the power thresholds, refined with quadratic interpolation in
 // both range and angle, then mapped to world coordinates through the array.
+// The returned slice is freshly allocated and safe to retain; steady-state
+// callers that want to reuse a buffer use FrontEndPlan.DetectInto.
 func (pr *Processor) Detect(prof *Profile, array fmcw.Array) []Detection {
 	if prof.RangeBins == 0 {
 		return nil
+	}
+	return pr.Plan(prof.Params).DetectInto(make([]Detection, 0, pr.cfg.MaxTargets), prof, array)
+}
+
+// DetectInto extracts target detections from a range–angle profile into
+// dst[:0] and returns the result, exactly as Detect would compute them. The
+// interpolation column and peak-finder scratch come from the plan's free
+// list, so a warmed-up call allocates nothing beyond growing dst the first
+// time. The profile must describe the plan's compiled shape (any profile
+// produced by the plan's RangeAngleInto does).
+func (pl *FrontEndPlan) DetectInto(dst []Detection, prof *Profile, array fmcw.Array) []Detection {
+	dst = dst[:0]
+	if prof.RangeBins == 0 {
+		return dst
 	}
 	maxPower := 0.0
 	for _, v := range prof.Power {
@@ -30,8 +46,8 @@ func (pr *Processor) Detect(prof *Profile, array fmcw.Array) []Detection {
 			maxPower = v
 		}
 	}
-	thresh := pr.cfg.MinPeakPower
-	if t := maxPower * pr.cfg.MinPeakRatio; t > thresh {
+	thresh := pl.cfg.MinPeakPower
+	if t := maxPower * pl.cfg.MinPeakRatio; t > thresh {
 		thresh = t
 	}
 	// Enforce a separation of about one nominal beamwidth in angle and one
@@ -40,23 +56,26 @@ func (pr *Processor) Detect(prof *Profile, array fmcw.Array) []Detection {
 	if sep < 2 {
 		sep = 2
 	}
-	peaks := dsp.FindPeaks2D(prof.Power, prof.RangeBins, prof.AngleBins, thresh, sep)
-	if len(peaks) > pr.cfg.MaxTargets {
-		peaks = peaks[:pr.cfg.MaxTargets]
+	e := pl.getDet()
+	peaks := e.finder.Find(prof.Power, prof.RangeBins, prof.AngleBins, thresh, sep)
+	if len(peaks) > pl.cfg.MaxTargets {
+		peaks = peaks[:pl.cfg.MaxTargets]
 	}
-	out := make([]Detection, 0, len(peaks))
+	if cap(e.col) < prof.RangeBins {
+		e.col = make([]float64, prof.RangeBins)
+	}
+	col := e.col[:prof.RangeBins]
 	for _, pk := range peaks {
 		// Sub-bin refinement along range (column fixed) and angle (row fixed).
 		rowSlice := prof.Power[pk.Row*prof.AngleBins : (pk.Row+1)*prof.AngleBins]
 		aOff := dsp.QuadraticInterp(rowSlice, pk.Col)
-		colSlice := make([]float64, prof.RangeBins)
 		for r := 0; r < prof.RangeBins; r++ {
-			colSlice[r] = prof.At(r, pk.Col)
+			col[r] = prof.At(r, pk.Col)
 		}
-		rOff := dsp.QuadraticInterp(colSlice, pk.Row)
+		rOff := dsp.QuadraticInterp(col, pk.Row)
 		rng := prof.RangeOfBin(float64(pk.Row) + rOff)
 		aoa := prof.AngleOfBin(float64(pk.Col) + aOff)
-		out = append(out, Detection{
+		dst = append(dst, Detection{
 			Range: rng,
 			AoA:   aoa,
 			Power: pk.Value,
@@ -64,7 +83,8 @@ func (pr *Processor) Detect(prof *Profile, array fmcw.Array) []Detection {
 			Time:  prof.Time,
 		})
 	}
-	return out
+	pl.putDet(e)
+	return dst
 }
 
 // FrontEnd is the streaming per-frame state of the eavesdropper's front

@@ -207,3 +207,68 @@ func TestPoolsRecycle(t *testing.T) {
 		t.Fatalf("DopplerPool.Len after Put(nil) = %d, want 0", dp.Len())
 	}
 }
+
+// DetectInto must produce exactly Detect's detections (same values, same
+// order) while reusing the caller's buffer, across repeated calls on
+// different profiles.
+func TestDetectIntoGoldenEquivalence(t *testing.T) {
+	p := smallParams()
+	array := fmcw.Array{Position: geom.Point{}, Facing: 1}
+	pr := NewProcessor(DefaultConfig())
+	pl := pr.Plan(p)
+	var buf []Detection
+	for seed := int64(1); seed <= 4; seed++ {
+		prof := pr.RangeAngle(scratchFrame(p, seed, float64(seed)*0.05))
+		want := pr.Detect(prof, array)
+		buf = pl.DetectInto(buf, prof, array)
+		if len(buf) != len(want) {
+			t.Fatalf("seed %d: %d detections vs %d", seed, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("seed %d: detection %d differs: %+v vs %+v", seed, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// A warmed-up detect → track frame step allocates nothing: DetectInto reuses
+// the caller's slice and the plan's finder scratch, and Tracker.Observe
+// reuses its association scratch. Track point history is pre-grown so the
+// measurement sees the association path, not slice doubling.
+func TestDetectAndObserveZeroAllocsSteadyState(t *testing.T) {
+	p := smallParams()
+	array := fmcw.Array{Position: geom.Point{}, Facing: 1}
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	pr := NewProcessor(cfg)
+	pl := pr.Plan(p)
+	f := scratchFrame(p, 3, 0)
+	prof := &Profile{}
+	if err := pr.RangeAngleInto(nil, f, prof); err != nil {
+		t.Fatal(err)
+	}
+	dets := pl.DetectInto(nil, prof, array)
+	if len(dets) == 0 {
+		t.Fatal("need at least one detection for a meaningful steady state")
+	}
+
+	tr := NewTracker(TrackerConfig{})
+	tm := 0.0
+	for i := 0; i < 10; i++ { // warm: spawn + confirm tracks, grow scratch
+		tr.Observe(tm, dets)
+		tm += 0.05
+	}
+	for _, trk := range tr.active {
+		pts := make([]TimedPoint, len(trk.Points), len(trk.Points)+4096)
+		copy(pts, trk.Points)
+		trk.Points = pts
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		dets = pl.DetectInto(dets, prof, array)
+		tr.Observe(tm, dets)
+		tm += 0.05
+	}); allocs != 0 {
+		t.Errorf("detect+observe allocates %v per frame in steady state, want 0", allocs)
+	}
+}

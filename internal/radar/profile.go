@@ -13,7 +13,7 @@ package radar
 import (
 	"context"
 	"math"
-	"math/cmplx"
+	"sync"
 
 	"rfprotect/internal/dsp"
 	"rfprotect/internal/fmcw"
@@ -77,28 +77,36 @@ func (p *Profile) At(r, a int) float64 { return p.Power[r*p.AngleBins+a] }
 
 // Processor computes range–angle profiles and detections.
 //
-// A Processor reuses internal scratch (cached windows, steering vectors,
-// spectra buffers, and pre-bound fan-out closures) across calls, which is
-// what makes its Into kernels allocation-free in steady state. Each kernel
-// family guards its scratch with a lock, so concurrent calls on one
-// Processor remain safe — they serialize instead of overlapping. Callers
-// that want kernel-level parallelism across frames should use distinct
-// Processors; the fan-out *inside* a call parallelizes across
-// Config.Workers either way.
+// A Processor is a thin stateful wrapper over a compiled FrontEndPlan: the
+// first call for a given frame shape compiles the plan (and a later shape
+// change recompiles it), after which every kernel is a direct plan call.
+// All the scratch reuse that makes the Into kernels allocation-free lives
+// in the plan; concurrent calls on one Processor are safe and — unlike the
+// pre-plan scratch, which serialized them — overlap, each on its own
+// executor. The fan-out *inside* a call parallelizes across Config.Workers.
 type Processor struct {
 	cfg Config
-	// steering[a][k] is the beamforming weight conj(steer) for angle bin a,
-	// antenna k, cached per (params, angle grid).
-	steering  [][]complex128
-	steerFor  fmcw.Params
-	steerBins int
-	ra        raScratch
-	rd        rdScratch
+
+	mu   sync.Mutex
+	plan *FrontEndPlan
 }
 
 // NewProcessor returns a Processor with the given configuration;
 // zero-valued fields fall back to DefaultConfig values.
 func NewProcessor(cfg Config) *Processor {
+	return &Processor{cfg: normalizeConfig(cfg)}
+}
+
+// NewProcessorWithPlan returns a Processor that serves frames of the plan's
+// compiled shape through the given — possibly shared — plan, adopting the
+// plan's configuration. Frames of a different shape transparently compile a
+// private plan, exactly like NewProcessor.
+func NewProcessorWithPlan(pl *FrontEndPlan) *Processor {
+	return &Processor{cfg: pl.cfg, plan: pl}
+}
+
+// normalizeConfig fills zero-valued config fields with DefaultConfig values.
+func normalizeConfig(cfg Config) Config {
 	def := DefaultConfig()
 	if cfg.AngleBins < 2 {
 		cfg.AngleBins = def.AngleBins
@@ -112,34 +120,44 @@ func NewProcessor(cfg Config) *Processor {
 	if cfg.MaxTargets <= 0 {
 		cfg.MaxTargets = def.MaxTargets
 	}
-	return &Processor{cfg: cfg}
+	return cfg
 }
 
 // Config returns the processor's effective configuration.
 func (pr *Processor) Config() Config { return pr.cfg }
 
-func (pr *Processor) steeringFor(p fmcw.Params) [][]complex128 {
-	if pr.steering != nil && pr.steerFor == p && pr.steerBins == pr.cfg.AngleBins {
-		return pr.steering
+// Plan returns the processor's compiled plan for frame shape p, compiling
+// and caching one on first use or shape change.
+func (pr *Processor) Plan(p fmcw.Params) *FrontEndPlan {
+	pr.mu.Lock()
+	pl := pr.plan
+	if pl == nil || pl.params != p {
+		pl = CompileFrontEndPlan(pr.cfg, p)
+		pr.plan = pl
 	}
-	bins := pr.cfg.AngleBins
-	lambda := p.Wavelength()
-	d := p.Spacing()
-	st := make([][]complex128, bins)
-	for a := 0; a < bins; a++ {
-		theta := float64(a) * math.Pi / float64(bins-1)
-		row := make([]complex128, p.NumAntennas)
-		for k := 0; k < p.NumAntennas; k++ {
-			// Matched filter: conjugate of the synthesis steering phase
-			// e^{-j2πkd cosθ/λ}, cf. Eq. 2.
-			row[k] = cmplx.Exp(complex(0, 2*math.Pi*float64(k)*d*math.Cos(theta)/lambda))
-		}
-		st[a] = row
+	pr.mu.Unlock()
+	return pl
+}
+
+// RangeAngleInto computes the range–angle power profile of f into prof
+// through the processor's plan; see FrontEndPlan.RangeAngleInto for the
+// full contract.
+func (pr *Processor) RangeAngleInto(ctx context.Context, f *fmcw.Frame, prof *Profile) error {
+	return pr.Plan(f.Params).RangeAngleInto(ctx, f, prof)
+}
+
+// RangeDopplerInto computes the range–Doppler map of a chirp burst into m
+// through the processor's plan; see FrontEndPlan.RangeDopplerInto for the
+// full contract.
+func (pr *Processor) RangeDopplerInto(ctx context.Context, m *RangeDopplerMap, chirps []*fmcw.Frame, antenna int, pri float64) error {
+	if m == nil {
+		panic("radar: RangeDopplerInto with nil map")
 	}
-	pr.steering = st
-	pr.steerFor = p
-	pr.steerBins = bins
-	return st
+	if len(chirps) == 0 {
+		*m = RangeDopplerMap{Power: m.Power[:0]}
+		return nil
+	}
+	return pr.Plan(chirps[0].Params).RangeDopplerInto(ctx, m, chirps, antenna, pri)
 }
 
 // RangeAngle computes the range–angle power profile of a (typically
@@ -160,24 +178,6 @@ func (pr *Processor) RangeAngleCtx(ctx context.Context, f *fmcw.Frame) (*Profile
 		return nil, err
 	}
 	return prof, nil
-}
-
-func (pr *Processor) maxRangeBin(p fmcw.Params, n int) int {
-	maxBin := n / 2
-	if pr.cfg.MaxRange > 0 {
-		b := int(math.Ceil(p.BeatFrequency(pr.cfg.MaxRange) / p.SampleRate * float64(n)))
-		if b < maxBin {
-			maxBin = b
-		}
-	}
-	return maxBin
-}
-
-func (pr *Processor) minRangeBin(p fmcw.Params, n int) int {
-	if pr.cfg.MinRange <= 0 {
-		return 0
-	}
-	return int(p.BeatFrequency(pr.cfg.MinRange) / p.SampleRate * float64(n))
 }
 
 // BackgroundSubtract returns cur - prev, the standard static-reflector

@@ -90,11 +90,57 @@ func DefaultTrackerConfig() TrackerConfig {
 
 // Tracker associates per-frame detections into tracks with nearest-neighbor
 // gating over Kalman predictions.
+//
+// The association scratch (candidate pairs, used-flags, the survivor list)
+// is owned by the tracker and reused across Observe calls, so a warmed-up
+// Observe allocates only when a new track spawns or a track's point history
+// grows past its capacity. A Tracker is not safe for concurrent use.
 type Tracker struct {
 	cfg    TrackerConfig
 	nextID int
 	active []*Track
 	done   []*Track
+
+	pairs      assocPairs
+	usedTrack  []bool
+	usedDet    []bool
+	aliveSpare []*Track
+}
+
+// assocPair is one gated (track, detection) association candidate.
+type assocPair struct {
+	trackIdx, detIdx int
+	dist             float64
+}
+
+// assocPairs sorts by ascending distance through sort.Interface on a
+// pointer receiver — the pointer boxes into the interface without
+// allocating, unlike a slice value or a sort.Slice closure. The comparator
+// is identical to the sort.Slice form it replaces, and both run the same
+// stdlib sort, so ties resolve into the same order.
+type assocPairs []assocPair
+
+func (p *assocPairs) Len() int      { return len(*p) }
+func (p *assocPairs) Swap(i, j int) { s := *p; s[i], s[j] = s[j], s[i] }
+func (p *assocPairs) Less(i, j int) bool {
+	s := *p
+	return s[i].dist < s[j].dist
+}
+
+// resizeBools returns *s resized to n elements, all false, reusing the
+// backing array when it suffices.
+func resizeBools(s *[]bool, n int) []bool {
+	b := *s
+	if cap(b) < n {
+		b = make([]bool, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = false
+		}
+	}
+	*s = b
+	return b
 }
 
 // NewTracker returns a tracker; zero-valued config fields take defaults.
@@ -132,24 +178,20 @@ func (tr *Tracker) Observe(t float64, detections []Detection) {
 	}
 	// Greedy nearest-neighbor association: sort candidate (track, det)
 	// pairs by distance, take each track and detection at most once.
-	type pair struct {
-		trackIdx, detIdx int
-		dist             float64
-	}
-	var pairs []pair
+	tr.pairs = tr.pairs[:0]
 	for ti, trk := range tr.active {
 		pred := trk.kf.Position()
 		for di, det := range detections {
 			d := pred.Dist(det.Pos)
 			if d <= tr.cfg.GateDistance {
-				pairs = append(pairs, pair{ti, di, d})
+				tr.pairs = append(tr.pairs, assocPair{ti, di, d})
 			}
 		}
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].dist < pairs[j].dist })
-	usedTrack := make(map[int]bool)
-	usedDet := make(map[int]bool)
-	for _, p := range pairs {
+	sort.Sort(&tr.pairs)
+	usedTrack := resizeBools(&tr.usedTrack, len(tr.active))
+	usedDet := resizeBools(&tr.usedDet, len(detections))
+	for _, p := range tr.pairs {
 		if usedTrack[p.trackIdx] || usedDet[p.detIdx] {
 			continue
 		}
@@ -166,8 +208,9 @@ func (tr *Tracker) Observe(t float64, detections []Detection) {
 			trk.Confirmed = true
 		}
 	}
-	// Unmatched tracks miss.
-	var alive []*Track
+	// Unmatched tracks miss. The survivor list double-buffers against the
+	// previous active backing so the filter allocates nothing.
+	alive := tr.aliveSpare[:0]
 	for ti, trk := range tr.active {
 		if usedTrack[ti] {
 			alive = append(alive, trk)
@@ -181,6 +224,7 @@ func (tr *Tracker) Observe(t float64, detections []Detection) {
 			alive = append(alive, trk)
 		}
 	}
+	tr.aliveSpare = tr.active[:0]
 	tr.active = alive
 	// Unmatched detections spawn tracks.
 	for di, det := range detections {

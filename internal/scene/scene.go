@@ -35,6 +35,22 @@ type Scene struct {
 	// RefDistance is the distance at which a unit-RCS scatterer has unit
 	// amplitude; amplitude falls off as (RefDistance/d)². Zero means 1 m.
 	RefDistance float64
+
+	// pool, when set with UseFramePool, supplies recycled storage for every
+	// frame the scene synthesizes.
+	pool *fmcw.FramePool
+}
+
+// UseFramePool routes every capture path — FrameAt, FrameAtCtx,
+// CaptureBurst, and streams built by Stream (unless overridden per stream
+// with FrameStream.UsePool) — through the given pool, which must be
+// configured with the scene's Params: frames synthesize into recycled pool
+// storage instead of fresh allocations. Emitted frames are bit-identical to
+// the unpooled paths'; ownership of each frame passes to the caller, who
+// recycles it with pool.Put once done. It returns s for chaining.
+func (s *Scene) UseFramePool(pool *fmcw.FramePool) *Scene {
+	s.pool = pool
+	return s
 }
 
 // NewScene assembles a scene with the radar mounted at the middle of the
@@ -139,6 +155,14 @@ func (s *Scene) FrameAtCtx(ctx context.Context, t float64, rng *rand.Rand) (*fmc
 	if rng != nil && s.Room.Speckle > 0 {
 		returns = s.appendSpeckle(returns, rng)
 	}
+	if s.pool != nil {
+		f := s.pool.Get(t)
+		if err := fmcw.SynthesizeInto(ctx, f, returns, rng, 0); err != nil {
+			s.pool.Put(f) // partially written: zero and recycle
+			return nil, err
+		}
+		return f, nil
+	}
 	return fmcw.SynthesizeCtx(ctx, s.Params, returns, t, rng, 0)
 }
 
@@ -230,9 +254,10 @@ type FrameStream struct {
 // would synthesize: frame i is captured at t0 + i/FrameRate, and rng is
 // consumed in frame order, so draining the stream consumes rng exactly as
 // the batch capture does. n < 0 means an unbounded stream (frames forever,
-// until the consumer stops).
+// until the consumer stops). A scene configured with UseFramePool passes
+// its pool to the stream; FrameStream.UsePool overrides it per stream.
 func (s *Scene) Stream(t0 float64, n int, rng *rand.Rand) *FrameStream {
-	return &FrameStream{scene: s, t0: t0, dt: 1 / s.Params.FrameRate, n: n, rng: rng}
+	return &FrameStream{scene: s, t0: t0, dt: 1 / s.Params.FrameRate, n: n, rng: rng, pool: s.pool}
 }
 
 // UsePool makes the stream synthesize every frame into storage from the

@@ -7,7 +7,47 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/radar"
 )
+
+// planKey identifies one compiled front-end shape: the processing
+// configuration plus the frame parameters. Both are flat comparable structs,
+// so the key is a plain map key.
+type planKey struct {
+	cfg    radar.Config
+	params fmcw.Params
+}
+
+// planCache shares compiled radar.FrontEndPlans across rooms: every room
+// with the same (config, params) shape reuses one plan — steering tables,
+// windows, and warmed executor free lists included — so an N-room daemon
+// compiles each shape once instead of once per room.
+type planCache struct {
+	mu    sync.Mutex
+	plans map[planKey]*radar.FrontEndPlan
+}
+
+func newPlanCache() *planCache {
+	return &planCache{plans: make(map[planKey]*radar.FrontEndPlan)}
+}
+
+// get returns the shared plan for the shape, compiling it on first use. The
+// compile runs under the cache lock — it is cheap (tables only), contended
+// only at room creation, and holding the lock keeps a racing creation from
+// compiling the same shape twice.
+func (c *planCache) get(cfg radar.Config, p fmcw.Params) *radar.FrontEndPlan {
+	key := planKey{cfg: cfg, params: p}
+	c.mu.Lock()
+	pl := c.plans[key]
+	if pl == nil {
+		pl = radar.CompileFrontEndPlan(cfg, p)
+		c.plans[key] = pl
+	}
+	c.mu.Unlock()
+	return pl
+}
 
 // shard is one slice of the room table: its own lock, its own map, its own
 // counters, so room lookup and per-frame accounting never contend across
@@ -26,6 +66,7 @@ type shard struct {
 // protocol; the HTTP layer in this package is a thin translation onto it.
 type Manager struct {
 	shards []*shard
+	plans  *planCache
 
 	// baseCtx parents every room's context; cancel hard-stops all rooms
 	// (the drain-deadline fallback). The caller's ctx passed to NewManager
@@ -49,7 +90,7 @@ func NewManager(ctx context.Context, shards int) *Manager {
 	if shards <= 0 {
 		shards = 8
 	}
-	m := &Manager{shards: make([]*shard, shards)}
+	m := &Manager{shards: make([]*shard, shards), plans: newPlanCache()}
 	for i := range m.shards {
 		m.shards[i] = &shard{rooms: make(map[string]*Room)}
 	}
@@ -81,7 +122,7 @@ func (m *Manager) CreateRoom(cfg RoomConfig) (*Room, error) {
 	}
 	si := m.shardOf(cfg.ID)
 	sh := m.shards[si]
-	r, err := newRoom(cfg, si, sh)
+	r, err := newRoom(cfg, si, sh, m.plans)
 	if err != nil {
 		return nil, err
 	}

@@ -90,10 +90,11 @@ func ctxDone(ctx context.Context) <-chan struct{} {
 }
 
 // newRoom assembles a room exactly as a library caller would: session,
-// humans, ghosts, processor, pools, pooled front end, optional Doppler,
+// humans, ghosts, shared plan, pools, planned front end, optional Doppler,
 // tracker — in that order, so a synthetic room's output is bit-identical to
-// the same assembly run by hand.
-func newRoom(cfg RoomConfig, shardIdx int, sh *shard) (*Room, error) {
+// the same assembly run by hand. The plan comes from the manager's cache:
+// rooms with the same (config, params) shape share one compiled plan.
+func newRoom(cfg RoomConfig, shardIdx int, sh *shard, plans *planCache) (*Room, error) {
 	env, err := roomByName(cfg.Room)
 	if err != nil {
 		return nil, err
@@ -132,11 +133,11 @@ func newRoom(cfg RoomConfig, shardIdx int, sh *shard) (*Room, error) {
 		subs:     make(map[*subscriber]struct{}),
 	}
 
-	pr := radar.NewProcessor(radar.DefaultConfig())
+	plan := plans.get(radar.DefaultConfig(), sc.Params)
 	r.pools = pipeline.NewPools(sc.Params)
-	stages := pipeline.FrontEndStagesPooled(pr, sc.Radar, r.pools)
+	stages := pipeline.FrontEndStagesPlanned(plan, sc.Radar, r.pools)
 	if cfg.DopplerWindow > 0 {
-		stages = append(stages, pipeline.NewDopplerPooled(pr, cfg.DopplerWindow, 0, r.pools.Doppler))
+		stages = append(stages, pipeline.NewDopplerPlanned(plan, cfg.DopplerWindow, 0, r.pools.Doppler))
 		r.trk = pipeline.NewTrackWithVelocity(radar.TrackerConfig{}, sc.Radar)
 	} else {
 		r.trk = pipeline.NewTrack(radar.TrackerConfig{})

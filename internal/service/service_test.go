@@ -355,7 +355,7 @@ func TestQueuePolicies(t *testing.T) {
 	if err := cfg.validate(); err != nil {
 		t.Fatal(err)
 	}
-	r, err := newRoom(cfg, 0, sh)
+	r, err := newRoom(cfg, 0, sh, newPlanCache())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +379,7 @@ func TestQueuePolicies(t *testing.T) {
 	if err := cfg.validate(); err != nil {
 		t.Fatal(err)
 	}
-	rb, err := newRoom(cfg, 0, sh)
+	rb, err := newRoom(cfg, 0, sh, newPlanCache())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestQueuePolicies(t *testing.T) {
 	}
 
 	// Pushing to a synthetic room is a mode error.
-	rs, err := newRoom(RoomConfig{ID: "synth", Frames: 4, QueueDepth: 64}, 0, sh)
+	rs, err := newRoom(RoomConfig{ID: "synth", Frames: 4, QueueDepth: 64}, 0, sh, newPlanCache())
 	if err != nil {
 		t.Fatal(err)
 	}
