@@ -2,9 +2,9 @@ GO ?= go
 
 # Coverage floor (percent of statements) enforced by `make cover` on the
 # packages whose correctness rests on their test harness: the concurrent
-# scheduler and the FFT batch layer under it.
+# scheduler, the FFT batch layer under it, and the spoof-detection suite.
 COVER_MIN ?= 80
-COVER_PKGS ?= ./internal/pipeline ./internal/dsp
+COVER_PKGS ?= ./internal/pipeline ./internal/dsp ./internal/detect
 
 .PHONY: build vet lint test race short bench bench-go bench-json benchdiff cover fuzz daemon-smoke ci
 
@@ -73,10 +73,12 @@ cover:
 		if [ "$$ok" != "1" ]; then echo "coverage below floor for $$pkg"; exit 1; fi; \
 	done
 
-# Bounded fuzz exploration of the stage-composition state space; the seed
-# corpus alone runs on every plain `go test`.
+# Bounded fuzz exploration of the stage-composition state space and the
+# spoof-detector input space; the seed corpora alone run on every plain
+# `go test`.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStageComposition -fuzztime 10s ./internal/pipeline
+	$(GO) test -run '^$$' -fuzz FuzzDetect -fuzztime 10s ./internal/detect
 
 # Daemon smoke: build rfprotectd, then drive the full lifecycle under the
 # race detector — 8 concurrent rooms × 64 frames whose exported tracks are

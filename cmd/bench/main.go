@@ -437,6 +437,17 @@ func runSnapshot(minDur time.Duration, seed int64, streamLens []int, quick bool)
 	})
 	add("experiment_fig9_end_to_end", runtime.GOMAXPROCS(0), e2e, false)
 
+	// Adversary-suite smoke: one trajectory per arm through the full
+	// arms-race loop — naive tag, hardened tag, human control, and the
+	// replay-spoofer probes — pinning the end-to-end cost of the
+	// spoof-detection stack (capture, Doppler, tracking, scoring).
+	arms := measure(minDur, func() {
+		if _, err := experiments.ArmsRace(experiments.Sizes{TrajPerRoom: 1}, seed); err != nil {
+			fatal("armsrace", err)
+		}
+	})
+	add("experiment_armsrace_smoke", runtime.GOMAXPROCS(0), arms, false)
+
 	return snap
 }
 

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (fig7, fig9, fig10, fig11, fig12, fig13, fig14, table1, all)")
+	run := flag.String("run", "all", "experiment to run (fig7, fig9, fig10, fig11, fig12, fig13, fig14, table1, armsrace, all)")
 	quick := flag.Bool("quick", false, "use the reduced test-scale configuration")
 	seed := flag.Int64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list experiments and exit")

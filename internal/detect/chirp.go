@@ -1,0 +1,58 @@
+package detect
+
+import "math"
+
+// Chirp-parameter estimation against the active replay spoofer
+// (internal/replayspoof). Unlike the passive tag, a replay attacker must
+// entrain its own transmitter onto the victim's chirp schedule, and that
+// entrainment leaks twice:
+//
+//   - Turn-off lag: after the radar abruptly stops transmitting, the
+//     spoofer keeps emitting for its synchronization lag. EstimateSyncLag
+//     turns the radar-off probe's power samples into a lag estimate; any
+//     positive lag is an active device (the passive tag estimates 0).
+//   - Per-chirp timing error: the spoofer re-locks onto every chirp with
+//     finite clock accuracy, so its phantom's apparent range jitters chirp
+//     to chirp by C·ε/2. JitterScore measures that high-frequency range
+//     residual; physical scatterers (humans and the tag's ghosts alike)
+//     move smoothly at chirp timescales.
+
+// EstimateSyncLag estimates an active spoofer's synchronization lag from
+// radar-off probe samples: power measurements at rate fs (Hz) starting the
+// instant the radar went silent. It returns the time of the last sample
+// above threshold — 0 when nothing exceeded it (a passive reflector) or on
+// degenerate input (fs <= 0).
+func EstimateSyncLag(samples []float64, fs, threshold float64) float64 {
+	if fs <= 0 {
+		return 0
+	}
+	last := -1
+	for i, p := range samples {
+		if p > threshold {
+			last = i
+		}
+	}
+	return finiteOrHuge(float64(last+1) / fs)
+}
+
+// JitterScore measures chirp-entrainment range jitter: the RMS second
+// difference of a per-chirp range series, in meters. Smooth motion at chirp
+// timescales contributes ~(v·Δt)² curvature — microns — while a replay
+// spoofer's independent per-chirp timing error of ±ε seconds contributes
+// ~C·ε RMS. Fewer than 3 samples score 0; the result is always finite and
+// non-negative.
+func JitterScore(ranges []float64) float64 {
+	if len(ranges) < 3 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i := 2; i < len(ranges); i++ {
+		d := ranges[i] - 2*ranges[i-1] + ranges[i-2]
+		if !finite(d) {
+			return hugeScore
+		}
+		sum += d * d
+		n++
+	}
+	return finiteOrHuge(math.Sqrt(sum / float64(n)))
+}

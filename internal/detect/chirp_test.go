@@ -1,0 +1,70 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimateSyncLag(t *testing.T) {
+	const fs, floor = 1000.0, 1e-4
+	samples := make([]float64, 500)
+	for i := range samples {
+		if float64(i)/fs < 0.08 {
+			samples[i] = 1.0 // spoofer still transmitting
+		} else {
+			samples[i] = floor / 2
+		}
+	}
+	got := EstimateSyncLag(samples, fs, 10*floor)
+	if math.Abs(got-0.08) > 2/fs {
+		t.Errorf("EstimateSyncLag = %v, want ~0.08", got)
+	}
+	// Passive reflector: nothing above threshold.
+	quiet := make([]float64, 500)
+	for i := range quiet {
+		quiet[i] = floor / 2
+	}
+	if got := EstimateSyncLag(quiet, fs, 10*floor); got != 0 {
+		t.Errorf("EstimateSyncLag on quiet samples = %v, want 0", got)
+	}
+	if got := EstimateSyncLag(samples, 0, 10*floor); got != 0 {
+		t.Errorf("EstimateSyncLag with fs=0 = %v, want 0", got)
+	}
+	if got := EstimateSyncLag(nil, fs, 10*floor); got != 0 {
+		t.Errorf("EstimateSyncLag on empty = %v, want 0", got)
+	}
+}
+
+func TestJitterScoreSeparatesReplayFromSmoothMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	smooth := make([]float64, 50)
+	jittery := make([]float64, 50)
+	for i := range smooth {
+		base := 4.0 + 0.04*float64(i) // 0.8 m/s at 20 Hz
+		smooth[i] = base + 0.01*rng.NormFloat64()
+		jittery[i] = base + 0.3*(2*rng.Float64()-1)
+	}
+	s, j := JitterScore(smooth), JitterScore(jittery)
+	if s >= j/5 {
+		t.Errorf("JitterScore smooth=%v jittery=%v, want clear separation", s, j)
+	}
+	if j < 0.2 {
+		t.Errorf("JitterScore jittery = %v, want >= 0.2 (±0.3 m per-chirp error)", j)
+	}
+}
+
+func TestJitterScoreDegenerate(t *testing.T) {
+	if got := JitterScore(nil); got != 0 {
+		t.Errorf("JitterScore(nil) = %v, want 0", got)
+	}
+	if got := JitterScore([]float64{1, 2}); got != 0 {
+		t.Errorf("JitterScore(2 samples) = %v, want 0", got)
+	}
+	if got := JitterScore([]float64{1, math.NaN(), 2, 3}); got != hugeScore {
+		t.Errorf("JitterScore with NaN = %v, want hugeScore", got)
+	}
+	if got := JitterScore([]float64{1, math.Inf(1), 2, 3}); got != hugeScore {
+		t.Errorf("JitterScore with Inf = %v, want hugeScore", got)
+	}
+}

@@ -1,0 +1,133 @@
+package detect
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/radar"
+)
+
+// fuzzReader decodes primitive values from the fuzz input, cycling when the
+// bytes run out so short inputs still exercise every decoder.
+type fuzzReader struct {
+	data []byte
+	off  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if len(r.data) == 0 {
+		return 0
+	}
+	b := r.data[r.off%len(r.data)]
+	r.off++
+	return b
+}
+
+// float decodes a raw IEEE-754 double — NaN, ±Inf, subnormals and absurd
+// magnitudes all come out of the corpus naturally.
+func (r *fuzzReader) float() float64 {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = r.byte()
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+func (r *fuzzReader) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.byte()) % n
+}
+
+// checkScore asserts the universal detector contract: finite, non-negative,
+// never NaN. hugeScore is the designated "certainly fake" ceiling and is
+// allowed.
+func checkScore(t *testing.T, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("%s = %v, want finite", name, v)
+	}
+	if v < 0 {
+		t.Fatalf("%s = %v, want non-negative", name, v)
+	}
+	if v > hugeScore {
+		t.Fatalf("%s = %v, exceeds hugeScore", name, v)
+	}
+}
+
+// FuzzDetect throws arbitrary range–Doppler maps, tracks, velocity
+// histories, and sample streams at every detector entry point. The contract
+// under test: no panics, and every score/statistic stays finite and
+// non-negative no matter how degenerate or adversarial the input — the
+// detectors run inside the live service loop where a NaN would poison the
+// suspicion gauge forever.
+func FuzzDetect(f *testing.F) {
+	f.Add([]byte{})                                               // empty everything
+	f.Add([]byte{1})                                              // single byte → single-point track
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})                         // all-zero floats
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xf0, 0x7f}) // NaN bits
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 1, 2, 3})          // +Inf bits
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0xff, 9, 9})             // −Inf bits
+	nominal := make([]byte, 0, 128)
+	for i := 0; i < 16; i++ {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(i)*0.3+1))
+		nominal = append(nominal, buf[:]...)
+	}
+	f.Add(nominal) // plausible monotone floats
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+
+		// Range–Doppler map with capped dims; dims may also disagree with
+		// the Power slice length.
+		nr, nd := r.intn(17), r.intn(9)
+		m := &radar.RangeDopplerMap{
+			Params:      fmcw.DefaultParams(),
+			PRI:         r.float(),
+			RangeBins:   nr,
+			DopplerBins: nd,
+			Power:       make([]float64, r.intn(nr*nd+2)),
+		}
+		for i := range m.Power {
+			m.Power[i] = r.float()
+		}
+		checkScore(t, "HarmonicScore", HarmonicScore(m, r.float(), HarmonicConfig{}))
+		checkScore(t, "HarmonicScore(custom)", HarmonicScore(m, 2.5, HarmonicConfig{
+			RangeGuard: r.intn(6), ColTol: r.intn(4), CenterGuard: r.intn(4),
+			Percentile: float64(r.intn(120)), MinSNR: r.float(),
+		}))
+
+		// Track + velocity history: empty and single-point shapes fall out of
+		// small inputs, NaN/Inf coordinates out of the raw float decoder.
+		pts := make([]radar.TimedPoint, r.intn(24))
+		for i := range pts {
+			pts[i] = radar.TimedPoint{Time: r.float(), Pos: geom.Point{X: r.float(), Y: r.float()}}
+		}
+		hist := make([]radar.TimedVelocity, r.intn(12))
+		for i := range hist {
+			hist[i] = radar.TimedVelocity{Time: r.float(), Velocity: r.float()}
+		}
+		b := KinematicBounds{}
+		st := AnalyzeKinematics(pts, hist, testArray(), r.float(), b)
+		for _, v := range []float64{st.MaxSpeed, st.MaxAccel, st.MaxJerk, st.DopplerMismatch} {
+			checkScore(t, "AnalyzeKinematics stat", v)
+		}
+		checkScore(t, "KinematicBounds.Score", b.Score(st))
+
+		// Sample-stream probes.
+		samples := make([]float64, r.intn(32))
+		for i := range samples {
+			samples[i] = r.float()
+		}
+		checkScore(t, "JitterScore", JitterScore(samples))
+		lag := EstimateSyncLag(samples, r.float(), r.float())
+		if math.IsNaN(lag) || math.IsInf(lag, 0) || lag < 0 {
+			t.Fatalf("EstimateSyncLag = %v, want finite non-negative", lag)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package detect
+
+import (
+	"math"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/radar"
+)
+
+// Switching-harmonic fingerprinting. The tag's duty-d square wave reflects
+// the chirp at every multiple of its switching fundamental f_sw with
+// amplitude |sin(πnd)/(πn)|, so next to the ghost (the n = ±1 image) the
+// range–Doppler map carries images at beat offsets ±2·f_sw, ±3·f_sw. Two
+// facts make those images a fingerprint the tag cannot trivially shed:
+//
+//   - In slow time the n-th harmonic beats at n times the fundamental's
+//     Doppler frequency, and aliasing commutes with that multiplication:
+//     fold(n·f) == fold(n·fold(f)). The observed (aliased) Doppler of the
+//     ghost therefore *predicts* the exact Doppler columns of its
+//     harmonics, no matter how heavily either one aliases.
+//   - The harmonics appear at ranges r_ant + n·Δd — far from the ghost's
+//     own range row — while a real human's micro-Doppler spread is
+//     range-local. Energy at the predicted columns away from the track's
+//     row has no human explanation.
+//
+// The per-frame score is the ratio of probe-column power (away from the
+// track's rows) to the track's own peak power; per-track evidence is a high
+// percentile of the per-frame scores, which rides out the frames where the
+// tag's per-tick frequency hop smears the comb.
+
+// HarmonicConfig tunes the fingerprint probe.
+type HarmonicConfig struct {
+	// RangeGuard excludes rows within ±RangeGuard range bins of the track's
+	// row from the probe, so the target's own (range-local) energy cannot
+	// score against it. Default 3.
+	RangeGuard int
+	// ColTol widens each probed Doppler column by ±ColTol bins to absorb
+	// the k-fold growth of the fundamental's sub-bin estimation error.
+	// Default 1.
+	ColTol int
+	// CenterGuard excludes Doppler columns within ±CenterGuard of zero
+	// velocity — residual static clutter. Default 1.
+	CenterGuard int
+	// Percentile selects the per-track statistic over per-frame scores.
+	// Default 75: high enough to key on the cleanly-resolved windows (the
+	// comb smears in windows that straddle a control tick), low enough to
+	// need sustained evidence. In (0, 100].
+	Percentile float64
+	// MinSNR gates the fundamental: the track's peak must exceed MinSNR
+	// times the map's mean non-static power, or the frame contributes no
+	// evidence. Without it, a target with little radial motion (a human
+	// crossing tangentially) leaves only a weak micro-Doppler tail as its
+	// "fundamental", and noise maxima relative to that weak peak read as
+	// harmonic evidence — enough to frame a real human. A tag ghost never
+	// hides this way: its Doppler tone is the switching frequency itself,
+	// strong regardless of the spoofed trajectory's direction. Default 100.
+	MinSNR float64
+}
+
+// withDefaults fills zero fields.
+func (c HarmonicConfig) withDefaults() HarmonicConfig {
+	if c.RangeGuard <= 0 {
+		c.RangeGuard = 3
+	}
+	if c.ColTol <= 0 {
+		c.ColTol = 1
+	}
+	if c.CenterGuard <= 0 {
+		c.CenterGuard = 1
+	}
+	if c.Percentile <= 0 || c.Percentile > 100 {
+		c.Percentile = 75
+	}
+	if c.MinSNR <= 0 {
+		c.MinSNR = 100
+	}
+	return c
+}
+
+// harmonicOrders are the probed multiples of the track's Doppler
+// fundamental. ±3 carries the naive 50%-duty tag's strongest extra image
+// (even harmonics vanish at exactly half duty); ±2 catches any other duty.
+var harmonicOrders = [...]int{-3, -2, 2, 3}
+
+// noiseFactor scales the probed band's mean power into the noise baseline
+// subtracted from its peak (≈ the 95th percentile of exponential noise), so
+// noise-only bands score near zero.
+const noiseFactor = 3.0
+
+// HarmonicScore scores one range–Doppler frame for switching-harmonic
+// evidence against a track at the given range (meters): the summed probe
+// power at the predicted harmonic Doppler columns outside the track's own
+// rows, normalized by the track's peak power. 0 means no evidence (or no
+// usable peak); the result is always finite and non-negative.
+func HarmonicScore(m *radar.RangeDopplerMap, trackRange float64, cfg HarmonicConfig) float64 {
+	cfg = cfg.withDefaults()
+	if m == nil || m.RangeBins <= 0 || m.DopplerBins <= 0 || m.RangeBins > len(m.Power)/m.DopplerBins {
+		return 0
+	}
+	if math.IsNaN(trackRange) || math.IsInf(trackRange, 0) {
+		return 0
+	}
+	nd := m.DopplerBins
+	center := nd / 2
+	r1 := int(math.Round(m.BinOfRange(trackRange)))
+	if r1 < 0 || r1 >= m.RangeBins {
+		return 0
+	}
+	// The track's Doppler fundamental: the strongest non-static column in
+	// the rows around its range, sub-bin refined.
+	bestR, bestD, bestP := -1, -1, 0.0
+	for r := r1 - 1; r <= r1+1; r++ {
+		if r < 0 || r >= m.RangeBins {
+			continue
+		}
+		row := m.Power[r*nd : (r+1)*nd]
+		for d, p := range row {
+			if absInt(d-center) <= cfg.CenterGuard {
+				continue
+			}
+			if p > bestP {
+				bestR, bestD, bestP = r, d, p
+			}
+		}
+	}
+	if bestR < 0 || bestP <= 0 || math.IsNaN(bestP) || math.IsInf(bestP, 0) {
+		return 0
+	}
+	// SNR gate: compare the peak against the map-wide mean power outside
+	// the static ridge. A scintillating target that faded into the noise
+	// this frame proves nothing either way.
+	noiseSum, noiseCells := 0.0, 0
+	for r := 0; r < m.RangeBins; r++ {
+		base := r * nd
+		for d := 0; d < nd; d++ {
+			if absInt(d-center) <= cfg.CenterGuard {
+				continue
+			}
+			noiseSum += m.Power[base+d]
+			noiseCells++
+		}
+	}
+	if noiseCells == 0 || !finite(noiseSum) || bestP < cfg.MinSNR*noiseSum/float64(noiseCells) {
+		return 0
+	}
+	row := m.Power[bestR*nd : (bestR+1)*nd]
+	d1 := float64(bestD) + dsp.QuadraticInterp(row, bestD)
+	f1 := (d1 - float64(center)) / (float64(nd) * m.PRI)
+	// The fundamental's own −1 partner (every real modulator is symmetric in
+	// ±1) sits at the mirrored Doppler column; a probe landing there proves
+	// nothing about higher harmonics, so it is excluded like the fundamental.
+	mirrorD := (((2*center - bestD) % nd) + nd) % nd
+
+	// Probe the predicted harmonic columns. Columns colliding with the
+	// fundamental's own (or the static ridge) prove nothing and are
+	// skipped. The max over a probed band rides on noise order statistics
+	// (the max of ~10² noise cells is several times their mean), so each
+	// order's evidence is the peak's excess over noiseFactor times the
+	// band's mean — a real harmonic is a spike in a single range row and
+	// barely moves the mean, while pure noise cancels to near zero.
+	probe := 0.0
+	for _, k := range harmonicOrders {
+		fk := radar.AliasedDoppler(float64(k)*f1, m.PRI)
+		ck := int(math.Round(fk*float64(nd)*m.PRI + float64(center)))
+		ck = ((ck % nd) + nd) % nd
+		if absInt(ck-center) <= cfg.CenterGuard || absInt(ck-bestD) <= cfg.ColTol || absInt(ck-mirrorD) <= cfg.ColTol {
+			continue
+		}
+		// Best cell across the probed column band, rows away from the
+		// track's own, plus the band mean as the noise baseline.
+		best, sum, cells := 0.0, 0.0, 0
+		for dc := -cfg.ColTol; dc <= cfg.ColTol; dc++ {
+			c := ((ck+dc)%nd + nd) % nd
+			if absInt(c-center) <= cfg.CenterGuard {
+				continue
+			}
+			for r := 0; r < m.RangeBins; r++ {
+				if absInt(r-r1) <= cfg.RangeGuard {
+					continue
+				}
+				p := m.Power[r*nd+c]
+				if p > best {
+					best = p
+				}
+				sum += p
+				cells++
+			}
+		}
+		if cells > 0 {
+			if excess := best - noiseFactor*sum/float64(cells); excess > 0 {
+				probe += excess
+			}
+		}
+	}
+	return finiteOrHuge(math.Max(probe/bestP, 0))
+}
+
+// absInt returns |x|.
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

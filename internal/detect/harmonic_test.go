@@ -1,0 +1,150 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/radar"
+)
+
+// synthMap builds a range–Doppler map with a uniform noise floor, default
+// prototype params, and the given chirp interval.
+func synthMap(rangeBins, dopplerBins int, pri, floor float64) *radar.RangeDopplerMap {
+	m := &radar.RangeDopplerMap{
+		Params:      fmcw.DefaultParams(),
+		PRI:         pri,
+		RangeBins:   rangeBins,
+		DopplerBins: dopplerBins,
+		Power:       make([]float64, rangeBins*dopplerBins),
+	}
+	for i := range m.Power {
+		m.Power[i] = floor
+	}
+	return m
+}
+
+// The synthetic fixture: a 64×32 map at 500 Hz with the track's fundamental
+// at row 20, column 23 (seven bins right of center 16). The second harmonic
+// of that tone lands at column 30; the third (21 bins) aliases to column 5;
+// the −2 and −3 orders probe columns 2 and 27; the mirror (−1) column is 9.
+// All probe bands are disjoint, so a planted cell is counted exactly once.
+const (
+	synthRows  = 64
+	synthCols  = 32
+	synthPRI   = 0.002
+	synthFloor = 1e-3
+	fundRow    = 20
+	fundCol    = 23
+	harm2Col   = 30
+	harm3Col   = 5
+)
+
+func synthFixture() (*radar.RangeDopplerMap, float64) {
+	m := synthMap(synthRows, synthCols, synthPRI, synthFloor)
+	m.Power[fundRow*synthCols+fundCol] = 1.0
+	return m, m.RangeOfBin(fundRow)
+}
+
+func TestHarmonicScoreFlagsPredictedComb(t *testing.T) {
+	m, trackRange := synthFixture()
+	// Second harmonic: 2·(7 bins) = 14 bins right of center → column 30,
+	// far from the track's row.
+	m.Power[45*synthCols+harm2Col] = 0.2
+	got := HarmonicScore(m, trackRange, HarmonicConfig{})
+	if got < 0.15 || got > 0.25 {
+		t.Fatalf("HarmonicScore with planted second harmonic = %v, want ~0.2", got)
+	}
+}
+
+func TestHarmonicScoreFlagsAliasedThirdHarmonic(t *testing.T) {
+	m, trackRange := synthFixture()
+	// Third harmonic: 3·(7 bins) = 21 bins folds to −11 → column 5.
+	m.Power[45*synthCols+harm3Col] = 0.11
+	got := HarmonicScore(m, trackRange, HarmonicConfig{})
+	if got < 0.08 || got > 0.14 {
+		t.Fatalf("HarmonicScore with aliased third harmonic = %v, want ~0.11", got)
+	}
+}
+
+func TestHarmonicScoreIgnoresUnpredictedColumns(t *testing.T) {
+	m, trackRange := synthFixture()
+	// Strong second mover at column 18 — not a predicted harmonic of the
+	// fundamental (and not its mirror at 9).
+	m.Power[45*synthCols+18] = 0.5
+	got := HarmonicScore(m, trackRange, HarmonicConfig{})
+	if got > 0.02 {
+		t.Fatalf("HarmonicScore with off-comb energy = %v, want ~0", got)
+	}
+}
+
+func TestHarmonicScoreIgnoresMirrorImage(t *testing.T) {
+	// A 48-column map with the fundamental 12 bins right of center 24: the
+	// third harmonic (36 bins) aliases exactly onto the −1 mirror column
+	// (12), and the −3 order onto the fundamental itself. Every physical
+	// modulator is ±1 symmetric, so energy there proves nothing — without
+	// the mirror guard the planted 0.5 would score ~0.5.
+	const nd = 48
+	m := synthMap(synthRows, nd, synthPRI, synthFloor)
+	m.Power[fundRow*nd+36] = 1.0
+	m.Power[45*nd+12] = 0.5
+	got := HarmonicScore(m, m.RangeOfBin(fundRow), HarmonicConfig{})
+	if got > 0.02 {
+		t.Fatalf("HarmonicScore with mirror-image energy = %v, want ~0", got)
+	}
+}
+
+func TestHarmonicScoreIgnoresRangeLocalEnergy(t *testing.T) {
+	m, trackRange := synthFixture()
+	// Harmonic-column energy inside the track's own range guard: human
+	// micro-Doppler is range-local and must not count.
+	m.Power[(fundRow+2)*synthCols+harm2Col] = 0.5
+	got := HarmonicScore(m, trackRange, HarmonicConfig{})
+	if got > 0.02 {
+		t.Fatalf("HarmonicScore with range-local energy = %v, want ~0", got)
+	}
+}
+
+func TestHarmonicScoreSNRGate(t *testing.T) {
+	m, trackRange := synthFixture()
+	// Fundamental barely above the floor: the frame proves nothing.
+	m.Power[fundRow*synthCols+fundCol] = 10 * synthFloor
+	m.Power[45*synthCols+harm2Col] = 0.2
+	if got := HarmonicScore(m, trackRange, HarmonicConfig{}); got != 0 {
+		t.Fatalf("HarmonicScore below SNR gate = %v, want 0", got)
+	}
+}
+
+func TestHarmonicScoreDegenerateInputs(t *testing.T) {
+	m, trackRange := synthFixture()
+	cases := []struct {
+		name string
+		m    *radar.RangeDopplerMap
+		r    float64
+	}{
+		{"nil map", nil, 3},
+		{"NaN range", m, math.NaN()},
+		{"Inf range", m, math.Inf(1)},
+		{"range out of map", m, 1e9},
+		{"zero dims", &radar.RangeDopplerMap{}, 3},
+		{"short power slice", &radar.RangeDopplerMap{RangeBins: 100, DopplerBins: 100, Power: make([]float64, 10)}, 3},
+	}
+	for _, tc := range cases {
+		if got := HarmonicScore(tc.m, tc.r, HarmonicConfig{}); got != 0 {
+			t.Errorf("%s: HarmonicScore = %v, want 0", tc.name, got)
+		}
+	}
+	_ = trackRange
+}
+
+func TestHarmonicScoreFiniteOnAdversarialPower(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		m, trackRange := synthFixture()
+		m.Power[45*synthCols+harm2Col] = 0.2
+		m.Power[50*synthCols+2] = bad
+		got := HarmonicScore(m, trackRange, HarmonicConfig{})
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Fatalf("HarmonicScore with %v cell = %v, want finite non-negative", bad, got)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package detect
+
+import (
+	"math"
+
+	"rfprotect/internal/dsp"
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/radar"
+)
+
+// Kinematic consistency. Two independent checks:
+//
+//   - Motion bounds: resample the track on a uniform grid, smooth, and
+//     bound speed, acceleration, and jerk by what a walking human can do. A
+//     GAN trained on human motion produces trajectories that pass; a
+//     teleporting or discontinuous synthetic track cannot.
+//   - Doppler agreement: the radial velocity implied by the trajectory
+//     (finite differences of range over a ≥2·ResampleDt baseline) must
+//     match the Doppler-measured radial velocity, modulo aliasing into the
+//     map's unambiguous band. A human's Doppler is its actual motion; the
+//     tag's free-running switch hands its ghost an essentially arbitrary
+//     aliased Doppler column that the ghost's trajectory cannot explain,
+//     and no controller knob fixes it without synchronizing the switch to
+//     the victim's chirp clock.
+
+// KinematicBounds are the human-motion limits and the analysis resolution.
+type KinematicBounds struct {
+	MaxSpeed float64 // m/s, default 4 (fast walk/jog)
+	MaxAccel float64 // m/s², default 12
+	MaxJerk  float64 // m/s³, default 250
+	// MaxDopplerMismatch bounds the median |trajectory velocity − Doppler
+	// velocity| (after folding into the unambiguous band), in m/s.
+	// Default 1.5.
+	MaxDopplerMismatch float64
+	// ResampleDt is the uniform analysis grid in seconds; differences over
+	// finer native spacing are too noise-dominated to bound. Default 0.05.
+	ResampleDt float64
+}
+
+// withDefaults fills zero fields.
+func (b KinematicBounds) withDefaults() KinematicBounds {
+	if b.MaxSpeed <= 0 {
+		b.MaxSpeed = 4
+	}
+	if b.MaxAccel <= 0 {
+		b.MaxAccel = 12
+	}
+	if b.MaxJerk <= 0 {
+		b.MaxJerk = 250
+	}
+	if b.MaxDopplerMismatch <= 0 {
+		b.MaxDopplerMismatch = 1.5
+	}
+	if b.ResampleDt <= 0 {
+		b.ResampleDt = 0.05
+	}
+	return b
+}
+
+// KinematicStats summarizes one track's motion consistency.
+type KinematicStats struct {
+	MaxSpeed float64 // m/s over the smoothed resampled track
+	MaxAccel float64 // m/s²
+	MaxJerk  float64 // m/s³
+	// DopplerMismatch is the median folded |v_traj − v_doppler| in m/s;
+	// meaningful when VelSamples > 0.
+	DopplerMismatch float64
+	// Samples is the resampled grid length; VelSamples counts the Doppler
+	// samples that entered the mismatch statistic.
+	Samples    int
+	VelSamples int
+}
+
+// Score reduces stats to the kinematic suspicion score: the largest
+// per-bound excess ratio, so 1 means "exactly at the human limit". Tracks
+// too short to analyze (Samples == 0) score 0 — no evidence either way.
+func (b KinematicBounds) Score(st KinematicStats) float64 {
+	b = b.withDefaults()
+	if st.Samples == 0 {
+		return 0
+	}
+	s := st.MaxSpeed / b.MaxSpeed
+	s = math.Max(s, st.MaxAccel/b.MaxAccel)
+	s = math.Max(s, st.MaxJerk/b.MaxJerk)
+	if st.VelSamples > 0 {
+		s = math.Max(s, st.DopplerMismatch/b.MaxDopplerMismatch)
+	}
+	return finiteOrHuge(math.Max(s, 0))
+}
+
+// Consistent reports whether the stats stay within every bound.
+func (b KinematicBounds) Consistent(st KinematicStats) bool { return b.Score(st) < 1 }
+
+// AnalyzeKinematics computes motion statistics for a tracked point series,
+// plus Doppler agreement when a velocity history is available. array gives
+// the radar geometry that converts positions to ranges; vmax is the
+// Doppler map's unambiguous velocity band (±vmax), or <= 0 to compare
+// unfolded. The result's fields are always finite (adversarial inputs
+// saturate at a huge value instead of going NaN/Inf).
+func AnalyzeKinematics(points []radar.TimedPoint, velHist []radar.TimedVelocity, array fmcw.Array, vmax float64, b KinematicBounds) KinematicStats {
+	b = b.withDefaults()
+	var st KinematicStats
+	grid := resampleTrack(points, b.ResampleDt)
+	st.Samples = len(grid)
+	if len(grid) < 3 {
+		return st
+	}
+	dt := b.ResampleDt
+
+	// Velocity by central difference, then a light moving average: a
+	// velocity change concentrated between two native samples would
+	// otherwise read as a dt-scale impulse and overstate acceleration.
+	n := len(grid)
+	vx := make([]float64, n-2)
+	vy := make([]float64, n-2)
+	for i := 1; i < n-1; i++ {
+		vx[i-1] = (grid[i+1].X - grid[i-1].X) / (2 * dt)
+		vy[i-1] = (grid[i+1].Y - grid[i-1].Y) / (2 * dt)
+	}
+	vx = dsp.MovingAverage(vx, 5)
+	vy = dsp.MovingAverage(vy, 5)
+	for i := range vx {
+		st.MaxSpeed = math.Max(st.MaxSpeed, math.Hypot(vx[i], vy[i]))
+	}
+	// Each derivative stage is smoothed before taking its max: the bounds are
+	// on *sustained* motion, and a single mis-associated detection otherwise
+	// reads as a dt-scale accel/jerk impulse that flags a real human. A
+	// teleporting track survives any smoothing — its displacement is real, so
+	// the speed bound still trips with a wide margin.
+	ax, ay := diffSeries(vx, dt), diffSeries(vy, dt)
+	ax = dsp.MovingAverage(ax, 5)
+	ay = dsp.MovingAverage(ay, 5)
+	for i := range ax {
+		st.MaxAccel = math.Max(st.MaxAccel, math.Hypot(ax[i], ay[i]))
+	}
+	jx, jy := diffSeries(ax, dt), diffSeries(ay, dt)
+	jx = dsp.MovingAverage(jx, 5)
+	jy = dsp.MovingAverage(jy, 5)
+	for i := range jx {
+		st.MaxJerk = math.Max(st.MaxJerk, math.Hypot(jx[i], jy[i]))
+	}
+	st.MaxSpeed = finiteOrHuge(st.MaxSpeed)
+	st.MaxAccel = finiteOrHuge(st.MaxAccel)
+	st.MaxJerk = finiteOrHuge(st.MaxJerk)
+
+	// Doppler agreement over the same grid: trajectory radial velocity from
+	// ranges one grid step apart (positive approaching, matching
+	// RangeDopplerMap.VelocityOfBin's sign convention).
+	if len(velHist) == 0 {
+		return st
+	}
+	t0 := points[0].Time
+	ranges := make([]float64, n)
+	for i, p := range grid {
+		ranges[i] = array.DistanceOf(p)
+	}
+	var mismatches []float64
+	for _, v := range velHist {
+		i := int(math.Round((v.Time - t0) / dt))
+		if i < 1 || i > n-2 {
+			continue
+		}
+		vTraj := -(ranges[i+1] - ranges[i-1]) / (2 * dt)
+		mismatches = append(mismatches, foldedVelocityDiff(vTraj, v.Velocity, vmax))
+	}
+	st.VelSamples = len(mismatches)
+	if len(mismatches) > 0 {
+		st.DopplerMismatch = finiteOrHuge(dsp.Percentile(mismatches, 50))
+	}
+	return st
+}
+
+// resampleTrack interpolates the point series onto a uniform dt grid
+// starting at the first sample. Points must be in non-decreasing time
+// order (trackers emit them that way); non-finite samples abort the
+// resample (empty result), which the callers score as "no evidence" on the
+// bounds and huge on anything arithmetic.
+func resampleTrack(points []radar.TimedPoint, dt float64) []geom.Point {
+	if len(points) < 2 {
+		return nil
+	}
+	t0, t1 := points[0].Time, points[len(points)-1].Time
+	if !finite(t0) || !finite(t1) || t1 <= t0 {
+		return nil
+	}
+	n := int((t1-t0)/dt) + 1
+	const maxGrid = 1 << 20
+	if n < 2 || n > maxGrid {
+		return nil
+	}
+	out := make([]geom.Point, 0, n)
+	j := 0
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		for j < len(points)-2 && points[j+1].Time <= t {
+			j++
+		}
+		a, b := points[j], points[j+1]
+		if !finite(a.Pos.X) || !finite(a.Pos.Y) || !finite(b.Pos.X) || !finite(b.Pos.Y) || !finite(a.Time) || !finite(b.Time) {
+			return nil
+		}
+		var p geom.Point
+		if b.Time <= a.Time {
+			p = b.Pos
+		} else {
+			frac := (t - a.Time) / (b.Time - a.Time)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			p = geom.Lerp(a.Pos, b.Pos, frac)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// diffSeries returns the successive differences of x divided by dt.
+func diffSeries(x []float64, dt float64) []float64 {
+	if len(x) < 2 {
+		return nil
+	}
+	out := make([]float64, len(x)-1)
+	for i := 1; i < len(x); i++ {
+		out[i-1] = (x[i] - x[i-1]) / dt
+	}
+	return out
+}
+
+// foldedVelocityDiff returns |a − b| on the aliasing circle of period
+// 2·vmax (the unambiguous band is (−vmax, vmax]); vmax <= 0 compares
+// directly.
+func foldedVelocityDiff(a, b, vmax float64) float64 {
+	d := a - b
+	if vmax > 0 && finite(d) {
+		period := 2 * vmax
+		d = math.Mod(d, period)
+		if d > vmax {
+			d -= period
+		} else if d < -vmax {
+			d += period
+		}
+	}
+	return finiteOrHuge(math.Abs(d))
+}
+
+// finite reports whether x is neither NaN nor ±Inf.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

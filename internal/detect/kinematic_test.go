@@ -1,0 +1,181 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+	"rfprotect/internal/motion"
+	"rfprotect/internal/radar"
+)
+
+// testArray places the radar at the origin facing +y, matching the scene
+// convention.
+func testArray() fmcw.Array {
+	return fmcw.Array{Position: geom.Point{X: 0, Y: 0}}
+}
+
+// walkPoints samples a constant-velocity walk from start with the given
+// velocity, dt apart.
+func walkPoints(start, vel geom.Point, n int, dt float64) []radar.TimedPoint {
+	pts := make([]radar.TimedPoint, n)
+	for i := range pts {
+		t := float64(i) * dt
+		pts[i] = radar.TimedPoint{Time: t, Pos: geom.Point{X: start.X + vel.X*t, Y: start.Y + vel.Y*t}}
+	}
+	return pts
+}
+
+func TestKinematicsSmoothWalkPasses(t *testing.T) {
+	pts := walkPoints(geom.Point{X: 1, Y: 3}, geom.Point{X: 0.7, Y: -0.7}, 40, 0.05)
+	st := AnalyzeKinematics(pts, nil, testArray(), 0, KinematicBounds{})
+	if st.Samples == 0 {
+		t.Fatal("no samples analyzed")
+	}
+	if math.Abs(st.MaxSpeed-math.Hypot(0.7, 0.7)) > 0.05 {
+		t.Errorf("MaxSpeed = %v, want ~%v", st.MaxSpeed, math.Hypot(0.7, 0.7))
+	}
+	b := KinematicBounds{}
+	if s := b.Score(st); s >= 1 {
+		t.Errorf("smooth walk Score = %v, want < 1", s)
+	}
+	if !b.Consistent(st) {
+		t.Error("smooth walk should be Consistent")
+	}
+}
+
+// Property: human-motion-model trajectories always pass the bounds — the
+// GAN's training distribution must not be flagged, or the detector frames
+// everyone.
+func TestKinematicsMotionModelTrajectoriesPass(t *testing.T) {
+	b := KinematicBounds{}
+	for seed := int64(0); seed < 20; seed++ {
+		tr := motion.NewGenerator(motion.DefaultConfig(), seed).Trace()
+		pts := make([]radar.TimedPoint, len(tr))
+		for i, p := range tr {
+			pts[i] = radar.TimedPoint{Time: float64(i) / motion.SampleRate, Pos: geom.Point{X: p.X + 5, Y: p.Y + 8}}
+		}
+		st := AnalyzeKinematics(pts, nil, testArray(), 0, b)
+		if s := b.Score(st); s >= 1 {
+			t.Errorf("seed %d: motion-model trace Score = %v (stats %+v), want < 1", seed, s, st)
+		}
+	}
+}
+
+// Property: a teleporting track always fails, wherever and however far it
+// jumps.
+func TestKinematicsTeleportAlwaysFails(t *testing.T) {
+	b := KinematicBounds{}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pts := walkPoints(geom.Point{X: 1, Y: 3}, geom.Point{X: 0.5, Y: 0.3}, 40, 0.05)
+		at := 5 + rng.Intn(30)
+		jump := 2 + rng.Float64()*8
+		ang := rng.Float64() * 2 * math.Pi
+		for i := at; i < len(pts); i++ {
+			pts[i].Pos.X += jump * math.Cos(ang)
+			pts[i].Pos.Y += jump * math.Sin(ang)
+		}
+		st := AnalyzeKinematics(pts, nil, testArray(), 0, b)
+		if s := b.Score(st); s < 1 {
+			t.Errorf("seed %d: teleport of %.1f m at sample %d Score = %v, want >= 1", seed, jump, at, s)
+		}
+	}
+}
+
+func TestKinematicsDopplerAgreement(t *testing.T) {
+	// Straight radial approach at 1 m/s: trajectory velocity (positive
+	// approaching) is +1.
+	pts := walkPoints(geom.Point{X: 0, Y: 5}, geom.Point{X: 0, Y: -1}, 40, 0.05)
+	var hist []radar.TimedVelocity
+	for i := 2; i < 38; i += 2 {
+		hist = append(hist, radar.TimedVelocity{Time: float64(i) * 0.05, Velocity: 1.0})
+	}
+	b := KinematicBounds{}
+	st := AnalyzeKinematics(pts, hist, testArray(), 0, b)
+	if st.VelSamples == 0 {
+		t.Fatal("no velocity samples analyzed")
+	}
+	if st.DopplerMismatch > 0.2 {
+		t.Errorf("consistent Doppler mismatch = %v, want ~0", st.DopplerMismatch)
+	}
+
+	// The same track claiming the opposite radial velocity must fail.
+	for i := range hist {
+		hist[i].Velocity = -1.0
+	}
+	st = AnalyzeKinematics(pts, hist, testArray(), 0, b)
+	if st.DopplerMismatch < 1.5 {
+		t.Errorf("inconsistent Doppler mismatch = %v, want ~2", st.DopplerMismatch)
+	}
+	if s := b.Score(st); s < 1 {
+		t.Errorf("inconsistent track Score = %v, want >= 1", s)
+	}
+}
+
+func TestKinematicsDopplerAgreementFoldsAliases(t *testing.T) {
+	// vmax = 0.6 m/s: a true +1 m/s approach aliases to 1 − 2·0.6 = −0.2.
+	pts := walkPoints(geom.Point{X: 0, Y: 5}, geom.Point{X: 0, Y: -1}, 40, 0.05)
+	var hist []radar.TimedVelocity
+	for i := 2; i < 38; i += 2 {
+		hist = append(hist, radar.TimedVelocity{Time: float64(i) * 0.05, Velocity: -0.2})
+	}
+	st := AnalyzeKinematics(pts, hist, testArray(), 0.6, KinematicBounds{})
+	if st.VelSamples == 0 {
+		t.Fatal("no velocity samples analyzed")
+	}
+	if st.DopplerMismatch > 0.2 {
+		t.Errorf("aliased-consistent mismatch = %v, want ~0 after folding", st.DopplerMismatch)
+	}
+}
+
+func TestKinematicsDegenerateTracks(t *testing.T) {
+	b := KinematicBounds{}
+	cases := []struct {
+		name string
+		pts  []radar.TimedPoint
+	}{
+		{"empty", nil},
+		{"single point", []radar.TimedPoint{{Time: 0, Pos: geom.Point{X: 1, Y: 2}}}},
+		{"zero duration", []radar.TimedPoint{{Time: 1, Pos: geom.Point{X: 1, Y: 2}}, {Time: 1, Pos: geom.Point{X: 3, Y: 4}}}},
+		{"NaN time", []radar.TimedPoint{{Time: math.NaN(), Pos: geom.Point{X: 1, Y: 2}}, {Time: 1, Pos: geom.Point{X: 3, Y: 4}}}},
+		{"NaN position", []radar.TimedPoint{{Time: 0, Pos: geom.Point{X: math.NaN(), Y: 2}}, {Time: 1, Pos: geom.Point{X: 3, Y: 4}}}},
+		{"absurd duration", []radar.TimedPoint{{Time: 0, Pos: geom.Point{X: 1, Y: 2}}, {Time: 1e12, Pos: geom.Point{X: 3, Y: 4}}}},
+	}
+	for _, tc := range cases {
+		st := AnalyzeKinematics(tc.pts, nil, testArray(), 0, b)
+		if st.Samples != 0 {
+			t.Errorf("%s: Samples = %d, want 0", tc.name, st.Samples)
+		}
+		if s := b.Score(st); s != 0 {
+			t.Errorf("%s: Score = %v, want 0 (no evidence)", tc.name, s)
+		}
+		for _, v := range []float64{st.MaxSpeed, st.MaxAccel, st.MaxJerk, st.DopplerMismatch} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: non-finite stat in %+v", tc.name, st)
+			}
+		}
+	}
+}
+
+func TestFoldedVelocityDiff(t *testing.T) {
+	cases := []struct {
+		a, b, vmax, want float64
+	}{
+		{1, 1, 0, 0},
+		{1, -1, 0, 2},
+		{1, -0.2, 0.6, 0},     // 1.2 is one full period
+		{0.5, -0.5, 0.6, 0.2}, // 1.0 folds to -0.2
+		{3, 1, -1, 2},         // vmax <= 0: no folding
+	}
+	for _, tc := range cases {
+		if got := foldedVelocityDiff(tc.a, tc.b, tc.vmax); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("foldedVelocityDiff(%v, %v, %v) = %v, want %v", tc.a, tc.b, tc.vmax, got, tc.want)
+		}
+	}
+	if got := foldedVelocityDiff(math.NaN(), 1, 0.6); got != hugeScore {
+		t.Errorf("foldedVelocityDiff(NaN, ...) = %v, want hugeScore", got)
+	}
+}

@@ -222,7 +222,7 @@ func TestRunDispatcher(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	names := Names()
-	if len(names) != 12 {
+	if len(names) != 13 {
 		t.Fatalf("names = %v", names)
 	}
 }

@@ -113,6 +113,14 @@ var Registry = map[string]Runner{
 		r.Print(w)
 		return nil
 	},
+	"armsrace": func(ctx context.Context, sz Sizes, seed int64, w io.Writer) error {
+		r, err := ArmsRaceCtx(ctx, sz, seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	},
 }
 
 // ctxErr is ctx.Err() tolerating the nil ctx the Ctx-less wrappers pass.

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// ROC/AUC machinery for the detector arms race: every spoof detector in
+// internal/detect reduces a track to a scalar suspicion score, and the
+// arms-race experiment reports how well that score separates ghost tracks
+// (positives) from human tracks (negatives).
+
+// AUC returns the area under the ROC curve of a score that should rank
+// positives above negatives, computed as the Mann–Whitney U statistic
+// normalized by the number of (positive, negative) pairs; ties count half.
+// 1.0 is perfect separation, 0.5 is chance, and values below 0.5 mean the
+// score ranks backwards. Either class being empty returns NaN.
+//
+// The pair count is quadratic in the class sizes, which is exact and plenty
+// fast at experiment scale (tens of tracks per class).
+func AUC(pos, neg []float64) float64 {
+	if len(pos) == 0 || len(neg) == 0 {
+		return math.NaN()
+	}
+	wins := 0.0
+	for _, p := range pos {
+		for _, n := range neg {
+			switch {
+			case p > n:
+				wins++
+			case p == n:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(len(pos)*len(neg))
+}
+
+// ROCPoint is one operating point of a detector: the false-positive and
+// true-positive rates obtained by flagging scores >= Threshold.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROC returns the full ROC curve of the score, one point per distinct
+// threshold, ordered from the strictest (highest) threshold to the most
+// permissive — i.e. from (0, 0) toward (1, 1). Either class being empty
+// returns nil.
+func ROC(pos, neg []float64) []ROCPoint {
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil
+	}
+	thresholds := make([]float64, 0, len(pos)+len(neg))
+	thresholds = append(thresholds, pos...)
+	thresholds = append(thresholds, neg...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(thresholds)))
+	out := make([]ROCPoint, 0, len(thresholds))
+	prev := math.Inf(1)
+	for _, th := range thresholds {
+		if th == prev {
+			continue
+		}
+		prev = th
+		out = append(out, ROCPoint{Threshold: th, FPR: rateAtOrAbove(neg, th), TPR: rateAtOrAbove(pos, th)})
+	}
+	return out
+}
+
+// TPRAtFPR returns the best true-positive rate achievable while keeping the
+// false-positive rate at or below maxFPR — the detector's power at a chosen
+// operating point. Either class being empty returns NaN.
+func TPRAtFPR(pos, neg []float64, maxFPR float64) float64 {
+	curve := ROC(pos, neg)
+	if curve == nil {
+		return math.NaN()
+	}
+	best := 0.0
+	for _, pt := range curve {
+		if pt.FPR <= maxFPR && pt.TPR > best {
+			best = pt.TPR
+		}
+	}
+	return best
+}
+
+// rateAtOrAbove returns the fraction of xs at or above th.
+func rateAtOrAbove(xs []float64, th float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x >= th {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	pos := []float64{0.9, 0.8, 0.7}
+	neg := []float64{0.1, 0.2, 0.3}
+	if got := AUC(pos, neg); got != 1.0 {
+		t.Fatalf("AUC = %v, want 1.0", got)
+	}
+	if got := AUC(neg, pos); got != 0.0 {
+		t.Fatalf("reversed AUC = %v, want 0.0", got)
+	}
+}
+
+func TestAUCChanceAndTies(t *testing.T) {
+	same := []float64{0.5, 0.5}
+	if got := AUC(same, same); got != 0.5 {
+		t.Fatalf("all-ties AUC = %v, want 0.5", got)
+	}
+	// Interleaved: pos {1,3}, neg {2,4} → wins: (1 vs 2,4): 0; (3 vs 2): 1.
+	if got := AUC([]float64{1, 3}, []float64{2, 4}); got != 0.25 {
+		t.Fatalf("interleaved AUC = %v, want 0.25", got)
+	}
+}
+
+func TestAUCEmptyIsNaN(t *testing.T) {
+	if got := AUC(nil, []float64{1}); !math.IsNaN(got) {
+		t.Fatalf("AUC(nil, ...) = %v, want NaN", got)
+	}
+	if got := AUC([]float64{1}, nil); !math.IsNaN(got) {
+		t.Fatalf("AUC(..., nil) = %v, want NaN", got)
+	}
+}
+
+func TestROCEndpointsAndMonotonicity(t *testing.T) {
+	pos := []float64{0.9, 0.6, 0.6, 0.4}
+	neg := []float64{0.5, 0.3, 0.1}
+	curve := ROC(pos, neg)
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("most permissive point = (%v, %v), want (1, 1)", last.FPR, last.TPR)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatalf("curve not monotone at %d: %+v then %+v", i, curve[i-1], curve[i])
+		}
+		if curve[i].Threshold >= curve[i-1].Threshold {
+			t.Fatalf("thresholds not strictly decreasing at %d", i)
+		}
+	}
+}
+
+func TestTPRAtFPR(t *testing.T) {
+	pos := []float64{0.9, 0.8, 0.2}
+	neg := []float64{0.5, 0.4, 0.1}
+	// At zero tolerated false positives, thresholds above 0.5 catch 2/3.
+	if got := TPRAtFPR(pos, neg, 0); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("TPR@FPR0 = %v, want 2/3", got)
+	}
+	if got := TPRAtFPR(pos, neg, 1); got != 1 {
+		t.Fatalf("TPR@FPR1 = %v, want 1", got)
+	}
+	if got := TPRAtFPR(nil, neg, 0.5); !math.IsNaN(got) {
+		t.Fatalf("empty pos = %v, want NaN", got)
+	}
+}

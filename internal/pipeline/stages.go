@@ -275,6 +275,11 @@ func (s *TrackStage) Process(ctx context.Context, it *Item) error {
 // radar.Tracker.Tracks).
 func (s *TrackStage) Tracks() []*radar.Track { return s.tr.Tracks() }
 
+// Tracker exposes the stage's tracker for per-frame observers (the spoof
+// scorer walks its active tracks after each Process call). Callers must
+// apply the same synchronization they use around Process.
+func (s *TrackStage) Tracker() *radar.Tracker { return s.tr }
+
 // BreathingPhaseStage extracts the unwrapped carrier phase at a range bin
 // from every raw frame — the vital-sign monitor of §11.4 — holding only the
 // incremental unwrap state. The accumulated series is its output.

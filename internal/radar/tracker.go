@@ -15,6 +15,13 @@ type TimedPoint struct {
 	Pos  geom.Point
 }
 
+// TimedVelocity is one Doppler-derived radial-velocity sample with the time
+// of the frame that produced it.
+type TimedVelocity struct {
+	Time     float64
+	Velocity float64
+}
+
 // Track is one target hypothesis maintained by the tracker.
 type Track struct {
 	ID        int
@@ -29,6 +36,13 @@ type Track struct {
 	// at a low frame rate alias.
 	RadialVelocity float64
 	HasVelocity    bool
+
+	// VelHist is the full radial-velocity sample series, recorded by
+	// AttachVelocities only when TrackerConfig.KeepVelocityHistory is set
+	// (it grows with track length, so the allocation-free streaming path
+	// leaves it off). The spoof detectors in internal/detect consume it to
+	// test Doppler-vs-trajectory consistency.
+	VelHist []TimedVelocity
 
 	kf       *Kalman
 	hits     int
@@ -73,6 +87,10 @@ type TrackerConfig struct {
 	ProcessNoise   float64 // Kalman acceleration noise
 	MeasNoise      float64 // Kalman measurement variance
 	MinTrackPoints int     // tracks shorter than this are discarded on output
+	// KeepVelocityHistory makes AttachVelocities append every stamped
+	// velocity to Track.VelHist instead of only keeping the latest value.
+	// Off by default: the history grows with track length.
+	KeepVelocityHistory bool
 }
 
 // DefaultTrackerConfig returns tracking parameters suited to walking humans
@@ -261,7 +279,26 @@ func (tr *Tracker) AttachVelocities(m *RangeDopplerMap, array fmcw.Array) {
 		if v, _, ok := m.PeakVelocityAtRange(r, 1); ok {
 			trk.RadialVelocity = v
 			trk.HasVelocity = true
+			if tr.cfg.KeepVelocityHistory {
+				// One sample per observation time: a re-stamp at the same
+				// instant (e.g. a missed frame where lastTime didn't advance)
+				// overwrites rather than duplicates.
+				if n := len(trk.VelHist); n > 0 && trk.VelHist[n-1].Time == trk.lastTime {
+					trk.VelHist[n-1].Velocity = v
+				} else {
+					trk.VelHist = append(trk.VelHist, TimedVelocity{Time: trk.lastTime, Velocity: v})
+				}
+			}
 		}
+	}
+}
+
+// ForEachActive calls fn for every live (not yet dropped) track in creation
+// order — a zero-allocation view for per-frame observers such as the spoof
+// scorer, which must see tracks before they are confirmed.
+func (tr *Tracker) ForEachActive(fn func(*Track)) {
+	for _, trk := range tr.active {
+		fn(trk)
 	}
 }
 

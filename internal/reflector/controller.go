@@ -61,6 +61,7 @@ type Controller struct {
 	tag  *Reflector
 	mode AmplitudeMode
 	logs []GhostRecord
+	hard Hardening
 }
 
 // NewController returns a controller for the tag with power matching on.
@@ -214,10 +215,12 @@ func (c *Controller) commit(start float64, entries []GhostEntry) GhostRecord {
 			ExtraDistance: e.ExtraDistance,
 		}
 	}
+	c.hardenStates(states, len(c.tag.sessions))
 	c.tag.sessions = append(c.tag.sessions, &session{
-		start:  start,
-		tick:   tick,
-		states: states,
+		start:    start,
+		tick:     tick,
+		states:   states,
+		suppress: c.hard.HarmonicSuppression,
 	})
 	rec := GhostRecord{Start: start, Tick: tick, Entries: entries}
 	c.logs = append(c.logs, rec)

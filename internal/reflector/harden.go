@@ -1,0 +1,76 @@
+package reflector
+
+import (
+	"math/rand"
+
+	"rfprotect/internal/parallel"
+)
+
+// Hardening configures the tag-side countermeasures of the detector arms
+// race: the switching-harmonic fingerprint (internal/detect) keys on the
+// square wave's rigid ±2/±3 comb, and both knobs below attack that comb
+// while leaving the first harmonic — the ghost itself — intact.
+type Hardening struct {
+	// DutyDither is the half-width of a per-tick uniform dither applied to
+	// the switching duty cycle around Config.Duty. Around the default 50%
+	// duty the even harmonics it introduces are tiny (sin(2πd) ≈ -2π·ε near
+	// d = 0.5) and, because every control tick draws a fresh duty, they
+	// decorrelate across the detector's slow-time window instead of forming
+	// a coherent comb line. Zero disables dithering.
+	DutyDither float64
+	// HarmonicSuppression in [0, 1] scales the amplitude of every |n| >= 2
+	// harmonic by (1 - HarmonicSuppression), modeling feed-forward
+	// pre-compensation in the switch driver (shaping the drive waveform to
+	// cancel the measured higher harmonics). 0.9 drops the ±2/±3 images by
+	// 100× in power; 0 disables.
+	HarmonicSuppression float64
+	// Seed drives the dither stream. Each committed session derives its own
+	// deterministic stream via parallel.SplitSeed(Seed, sessionIndex), so a
+	// programmed tag replays bit-identically for a fixed seed regardless of
+	// how many sessions it carries.
+	Seed int64
+}
+
+// enabled reports whether any countermeasure is active.
+func (h Hardening) enabled() bool { return h.DutyDither > 0 || h.HarmonicSuppression > 0 }
+
+// SetHardening installs countermeasures applied to every subsequently
+// programmed session (already-committed sessions keep the hardening they
+// were programmed with). Suppression outside [0, 1] and negative dither are
+// clamped.
+func (c *Controller) SetHardening(h Hardening) {
+	if h.DutyDither < 0 {
+		h.DutyDither = 0
+	}
+	if h.HarmonicSuppression < 0 {
+		h.HarmonicSuppression = 0
+	} else if h.HarmonicSuppression > 1 {
+		h.HarmonicSuppression = 1
+	}
+	c.hard = h
+}
+
+// Hardening returns the countermeasures applied to new sessions.
+func (c *Controller) Hardening() Hardening { return c.hard }
+
+// hardenStates applies the controller's hardening to a freshly built state
+// schedule: per-tick duty dither drawn from the session's split seed. The
+// session index pins the stream so commit order, not call timing, decides
+// the bits.
+func (c *Controller) hardenStates(states []ControlState, sessionIndex int) {
+	if c.hard.DutyDither <= 0 {
+		return
+	}
+	base := c.tag.cfg.duty()
+	rng := rand.New(rand.NewSource(parallel.SplitSeed(c.hard.Seed, sessionIndex)))
+	for i := range states {
+		d := base + (2*rng.Float64()-1)*c.hard.DutyDither
+		// Keep the switch meaningfully switching: duty pinned inside (0, 1).
+		if d < 0.05 {
+			d = 0.05
+		} else if d > 0.95 {
+			d = 0.95
+		}
+		states[i].Duty = d
+	}
+}

@@ -1,0 +1,139 @@
+package reflector
+
+import (
+	"math"
+	"testing"
+
+	"rfprotect/internal/fmcw"
+	"rfprotect/internal/geom"
+)
+
+// hardenedTag programs one straight-line ghost on a fresh tag with the given
+// hardening and returns the tag.
+func hardenedTag(t *testing.T, h Hardening) *Reflector {
+	t.Helper()
+	tag, err := New(DefaultConfig(geom.Point{X: -0.5, Y: 1.2}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(tag)
+	ctl.SetHardening(h)
+	traj := geom.Trajectory{{X: 0.5, Y: 3}, {X: 0.8, Y: 4}}
+	if _, err := ctl.ProgramLocal(traj, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	return tag
+}
+
+func returnsOf(tag *Reflector, t float64) []fmcw.Return {
+	return tag.ReturnsAt(t, fmcw.Array{Position: geom.Point{X: 0, Y: 0}})
+}
+
+func TestHardeningSuppressionWeakensHigherHarmonics(t *testing.T) {
+	plain := hardenedTag(t, Hardening{})
+	hard := hardenedTag(t, Hardening{HarmonicSuppression: 0.9})
+	// Compare the per-harmonic amplitude ratios at one tick. Returns carry
+	// FreqShift = n·f_sw, so n is recoverable from the smallest shift.
+	ampsByN := func(rets []fmcw.Return) map[int]float64 {
+		f1 := math.Inf(1)
+		for _, r := range rets {
+			if f := math.Abs(r.FreqShift); f > 0 && f < f1 {
+				f1 = f
+			}
+		}
+		out := map[int]float64{}
+		for _, r := range rets {
+			out[int(math.Round(r.FreqShift/f1))] = r.Amplitude
+		}
+		return out
+	}
+	ap, ah := ampsByN(returnsOf(plain, 0.1)), ampsByN(returnsOf(hard, 0.1))
+	if ap[1] == 0 || ah[1] == 0 {
+		t.Fatalf("first harmonic missing: plain %v, hard %v", ap, ah)
+	}
+	if math.Abs(ah[1]-ap[1]) > 1e-12*ap[1] {
+		t.Fatalf("suppression touched the first harmonic: %v vs %v", ah[1], ap[1])
+	}
+	if ap[3] == 0 {
+		t.Fatalf("plain tag lost its third harmonic: %v", ap)
+	}
+	// 0.9 suppression drops |c3| by 10×, pushing it under ReturnsAt's 1e-9
+	// amplitude floor or to exactly (1-0.9)× the plain value.
+	if h3 := ah[3]; h3 > 0.11*ap[3] {
+		t.Fatalf("third harmonic %v not suppressed (plain %v)", h3, ap[3])
+	}
+}
+
+func TestHardeningDitherIsSeededAndDeterministic(t *testing.T) {
+	a := hardenedTag(t, Hardening{DutyDither: 0.08, Seed: 7})
+	b := hardenedTag(t, Hardening{DutyDither: 0.08, Seed: 7})
+	c := hardenedTag(t, Hardening{DutyDither: 0.08, Seed: 8})
+	sameAsA, differsFromC := true, false
+	for i := 0; i < 40; i++ {
+		tm := 0.005 + float64(i)*0.01
+		ra, rb, rc := returnsOf(a, tm), returnsOf(b, tm), returnsOf(c, tm)
+		if len(ra) != len(rb) {
+			sameAsA = false
+			break
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				sameAsA = false
+			}
+		}
+		if len(ra) != len(rc) {
+			differsFromC = true
+			continue
+		}
+		for j := range ra {
+			if ra[j].Amplitude != rc[j].Amplitude {
+				differsFromC = true
+			}
+		}
+	}
+	if !sameAsA {
+		t.Fatal("same seed produced different dithered returns")
+	}
+	if !differsFromC {
+		t.Fatal("different seeds produced identical dithered returns")
+	}
+}
+
+func TestHardeningDitherVariesDutyButKeepsGhost(t *testing.T) {
+	tag := hardenedTag(t, Hardening{DutyDither: 0.08, Seed: 3})
+	duties := map[float64]bool{}
+	for _, s := range tag.sessions {
+		for _, st := range s.states {
+			if st.Duty != 0 {
+				duties[st.Duty] = true
+				if st.Duty < 0.05 || st.Duty > 0.95 {
+					t.Fatalf("dithered duty %v outside (0,1) guard", st.Duty)
+				}
+			}
+			if st.SwitchFreq <= 0 {
+				t.Fatalf("dither must not disturb the switching schedule: %+v", st)
+			}
+		}
+	}
+	if len(duties) < 2 {
+		t.Fatalf("dither produced %d distinct duties, want several", len(duties))
+	}
+}
+
+func TestSetHardeningClamps(t *testing.T) {
+	ctl := NewController(mustTag(t))
+	ctl.SetHardening(Hardening{DutyDither: -1, HarmonicSuppression: 2})
+	h := ctl.Hardening()
+	if h.DutyDither != 0 || h.HarmonicSuppression != 1 {
+		t.Fatalf("clamped hardening = %+v", h)
+	}
+}
+
+func mustTag(t *testing.T) *Reflector {
+	t.Helper()
+	tag, err := New(DefaultConfig(geom.Point{}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tag
+}

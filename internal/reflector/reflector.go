@@ -125,7 +125,12 @@ func (c Config) SpoofedExtraDistance(switchFreq float64) float64 {
 // (background-subtracted) reflection; n = ±1 carry the ghost; higher
 // harmonics are the weak extra images §5.1 describes.
 func (c Config) HarmonicCoefficient(n int) float64 {
-	d := c.duty()
+	return harmonicCoefficient(c.duty(), n)
+}
+
+// harmonicCoefficient is HarmonicCoefficient for an explicit duty cycle —
+// the per-tick dithered duty of a hardened session.
+func harmonicCoefficient(d float64, n int) float64 {
 	if n == 0 {
 		return d
 	}
@@ -139,6 +144,9 @@ type ControlState struct {
 	SwitchFreq    float64 // on/off switching frequency in Hz (0 = switch idle)
 	PhaseShift    float64 // phase-shifter setting in radians
 	ExtraDistance float64 // the distance offset SwitchFreq encodes
+	// Duty overrides the config duty cycle for this tick (0 = use the
+	// config value) — set by the hardening duty dither.
+	Duty float64
 }
 
 // Reflector is a programmed RF-Protect tag. It implements
@@ -154,6 +162,9 @@ type session struct {
 	start  float64
 	tick   float64
 	states []ControlState
+	// suppress scales every |n| >= 2 harmonic amplitude by (1 - suppress) —
+	// the harmonic pre-compensation hardening (see Hardening).
+	suppress float64
 	// intended is the spoofed (antenna ray, extra distance) log disclosed to
 	// legitimate sensors.
 }
@@ -199,6 +210,12 @@ func (r *Reflector) ReturnsAt(t float64, radar fmcw.Array) []fmcw.Return {
 		if d < 0.3 {
 			d = 0.3
 		}
+		// The tick's effective duty: the hardening dither overrides the
+		// config value per control state.
+		duty := st.Duty
+		if duty == 0 {
+			duty = r.cfg.duty()
+		}
 		// Round-trip radar-equation falloff, then LNA gain.
 		base := r.cfg.Gain / (d * d)
 		if r.amplitudeMode == AmplitudeMatchHuman {
@@ -209,7 +226,7 @@ func (r *Reflector) ReturnsAt(t float64, radar fmcw.Array) []fmcw.Return {
 			if spoofDist < 0.3 {
 				spoofDist = 0.3
 			}
-			c1 := r.cfg.HarmonicCoefficient(1)
+			c1 := harmonicCoefficient(duty, 1)
 			if c1 > 0 {
 				base = 1 / (spoofDist * spoofDist * c1)
 			}
@@ -219,7 +236,12 @@ func (r *Reflector) ReturnsAt(t float64, radar fmcw.Array) []fmcw.Return {
 			lo = 0
 		}
 		for n := lo; n <= r.cfg.maxHarmonic(); n++ {
-			amp := base * r.cfg.HarmonicCoefficient(n)
+			amp := base * harmonicCoefficient(duty, n)
+			if n > 1 || n < -1 {
+				// Harmonic pre-compensation (hardening): the switch driver
+				// cancels the measured higher harmonics.
+				amp *= 1 - s.suppress
+			}
 			if st.SwitchFreq == 0 && n != 0 {
 				continue // switch idle: plain static reflection only
 			}

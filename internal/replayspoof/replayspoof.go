@@ -27,11 +27,26 @@ type Spoofer struct {
 	// ExtraDelay is added to the replayed chirp (spoofed extra distance
 	// C·ExtraDelay/2 one-way).
 	ExtraDelay float64
+	// DelayRate sweeps ExtraDelay over time (seconds of delay per second),
+	// moving the phantom radially at C·DelayRate/2 m/s — how replay designs
+	// animate a phantom so it survives a tracker's clutter rejection.
+	DelayRate float64
 	// Gain is the replay amplifier's amplitude gain.
 	Gain float64
 	// SyncLag is how long the spoofer takes to react to the radar turning
 	// on or off; real designs need tens of milliseconds to re-synchronize.
 	SyncLag float64
+	// SyncJitter is the half-width (seconds) of the per-chirp timing error
+	// in the spoofer's chirp entrainment: each replayed chirp's delay
+	// wanders by up to ±SyncJitter because the spoofer re-locks onto every
+	// chirp with finite clock accuracy. The wander shows up as range jitter
+	// of up to ±C·SyncJitter/2 at the victim — the fingerprint
+	// detect.JitterScore keys on. Zero models a perfectly entrained
+	// spoofer.
+	SyncJitter float64
+	// SyncJitterSeed selects the deterministic jitter sequence; the jitter
+	// at time t is a pure function of (t, SyncJitterSeed).
+	SyncJitterSeed int64
 
 	trueState      bool    // radar's actual transmit state as last observed
 	stateBefore    bool    // belief held before the most recent transition
@@ -97,10 +112,31 @@ func (s *Spoofer) ReturnsAt(t float64, radar fmcw.Array) []fmcw.Return {
 	// way, boosted by the replay gain.
 	amp := s.Gain / (d * d)
 	return []fmcw.Return{{
-		Delay:     2*d/fmcw.C + s.ExtraDelay,
+		Delay:     2*d/fmcw.C + s.ExtraDelay + s.DelayRate*t + s.jitterAt(t),
 		Amplitude: amp,
 		AoA:       radar.AoAOf(s.Position),
 	}}
+}
+
+// jitterAt returns the chirp-entrainment timing error applied to the replay
+// at time t: uniform in ±SyncJitter, deterministic in (t, SyncJitterSeed).
+func (s *Spoofer) jitterAt(t float64) float64 {
+	if s.SyncJitter == 0 {
+		return 0
+	}
+	return s.SyncJitter * (2*hashUnit(t, s.SyncJitterSeed) - 1)
+}
+
+// hashUnit maps (t, seed) to a uniform value in [0, 1) with a splitmix64
+// finalizer over the time's bit pattern — stateless, so replays at the same
+// instant always jitter identically regardless of call order.
+func hashUnit(t float64, seed int64) float64 {
+	x := math.Float64bits(t) ^ uint64(seed)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
 }
 
 // SpoofedDistance returns the apparent target distance the replay creates.

@@ -28,7 +28,7 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, req *http.Request) {
 
 	fmt.Fprintf(w, "# HELP rfprotect_rooms Live rooms per shard.\n# TYPE rfprotect_rooms gauge\n")
 	type shardRow struct {
-		rooms, depth int
+		rooms, depth, suspects int
 	}
 	rows := make([]shardRow, len(m.shards))
 	for i, sh := range m.shards {
@@ -36,6 +36,7 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		rows[i].rooms = len(sh.rooms)
 		for _, r := range sh.rooms {
 			rows[i].depth += r.QueueDepth()
+			rows[i].suspects += r.SuspectTracks()
 		}
 		sh.mu.Unlock()
 	}
@@ -45,6 +46,10 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintf(w, "# HELP rfprotect_queue_depth Buffered ingest frames per shard.\n# TYPE rfprotect_queue_depth gauge\n")
 	for i, row := range rows {
 		fmt.Fprintf(w, "rfprotect_queue_depth{shard=\"%d\"} %d\n", i, row.depth)
+	}
+	fmt.Fprintf(w, "# HELP rfprotect_suspect_tracks Tracks flagged by the spoof-detection suite, per shard.\n# TYPE rfprotect_suspect_tracks gauge\n")
+	for i, row := range rows {
+		fmt.Fprintf(w, "rfprotect_suspect_tracks{shard=\"%d\"} %d\n", i, row.suspects)
 	}
 	fmt.Fprintf(w, "# HELP rfprotect_frames_total Frames fully processed per shard.\n# TYPE rfprotect_frames_total counter\n")
 	for i, sh := range m.shards {

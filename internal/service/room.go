@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"rfprotect/internal/core"
+	"rfprotect/internal/detect"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/pipeline"
 	"rfprotect/internal/radar"
@@ -37,6 +38,10 @@ type Room struct {
 	pools *pipeline.Pools
 	pipe  *pipeline.Pipeline
 	trk   *pipeline.TrackStage
+	// det accumulates spoof-suspicion evidence against the room's tracks.
+	// Guarded by trkMu like the tracker itself: the emit stage feeds it on
+	// the runner goroutine, HTTP handlers score through it.
+	det *detect.TrackScorer
 
 	sh       *shard
 	shardIdx int
@@ -138,10 +143,12 @@ func newRoom(cfg RoomConfig, shardIdx int, sh *shard, plans *planCache) (*Room, 
 	stages := pipeline.FrontEndStagesPlanned(plan, sc.Radar, r.pools)
 	if cfg.DopplerWindow > 0 {
 		stages = append(stages, pipeline.NewDopplerPlanned(plan, cfg.DopplerWindow, 0, r.pools.Doppler))
-		r.trk = pipeline.NewTrackWithVelocity(radar.TrackerConfig{}, sc.Radar)
+		// Velocity history feeds the kinematic Doppler-consistency check.
+		r.trk = pipeline.NewTrackWithVelocity(radar.TrackerConfig{KeepVelocityHistory: true}, sc.Radar)
 	} else {
 		r.trk = pipeline.NewTrack(radar.TrackerConfig{})
 	}
+	r.det = detect.NewTrackScorer(detect.Config{}, sc.Radar)
 	stages = append(stages, &emitStage{r: r})
 
 	var src pipeline.Source
@@ -277,9 +284,10 @@ func (r *Room) beginDrain() {
 	})
 }
 
-// emitStage is the room's sink stage: it advances the tracker under trkMu
-// (HTTP handlers read the same tracker), counts the frame, and broadcasts
-// the post-frame snapshot to every subscriber.
+// emitStage is the room's sink stage: it advances the tracker and the spoof
+// scorer under trkMu (HTTP handlers read the same tracker and scorer),
+// counts the frame, and broadcasts the post-frame snapshot to every
+// subscriber.
 type emitStage struct{ r *Room }
 
 func (s *emitStage) Name() string { return "track-emit" }
@@ -288,6 +296,9 @@ func (s *emitStage) Process(ctx context.Context, it *pipeline.Item) error {
 	r := s.r
 	r.trkMu.Lock()
 	err := r.trk.Process(ctx, it)
+	if err == nil && it.RangeDoppler != nil {
+		r.det.Observe(it.RangeDoppler, r.trk.Tracker())
+	}
 	r.trkMu.Unlock()
 	if err != nil {
 		return err
@@ -380,7 +391,8 @@ func (r *Room) Unsubscribe(sub *subscriber) {
 	r.mu.Unlock()
 }
 
-// trackSpecs snapshots the confirmed tracks' latest points.
+// trackSpecs snapshots the confirmed tracks' latest points with their live
+// spoof-suspicion scores.
 func (r *Room) trackSpecs() []TrackSpec {
 	r.trkMu.Lock()
 	defer r.trkMu.Unlock()
@@ -390,21 +402,40 @@ func (r *Room) trackSpecs() []TrackSpec {
 	}
 	out := make([]TrackSpec, len(trs))
 	for i, tr := range trs {
-		out[i] = trackSpec(tr)
+		out[i] = trackSpec(tr, r.det.Score(tr))
 	}
 	return out
 }
 
-// TrackDumps exports every confirmed track at full resolution.
+// TrackDumps exports every confirmed track at full resolution, scored.
 func (r *Room) TrackDumps() []TrackDump {
 	r.trkMu.Lock()
 	defer r.trkMu.Unlock()
 	trs := r.trk.Tracks()
 	out := make([]TrackDump, len(trs))
 	for i, tr := range trs {
-		out[i] = trackDump(tr)
+		out[i] = trackDump(tr, r.det.Score(tr))
 	}
 	return out
+}
+
+// SuspectTracks counts confirmed tracks whose suspicion crosses the default
+// thresholds — the per-room value behind the /metrics gauge.
+func (r *Room) SuspectTracks() int {
+	r.trkMu.Lock()
+	defer r.trkMu.Unlock()
+	return r.suspectTracksLocked()
+}
+
+// suspectTracksLocked is SuspectTracks without the lock (caller holds trkMu).
+func (r *Room) suspectTracksLocked() int {
+	n := 0
+	for _, tr := range r.trk.Tracks() {
+		if r.det.Score(tr).Flagged() {
+			n++
+		}
+	}
+	return n
 }
 
 // FinalEvent is the room's closing stream line: the terminal snapshot sent
@@ -454,6 +485,7 @@ func (r *Room) Status() RoomStatus {
 	}
 	r.trkMu.Lock()
 	st.Tracks = len(r.trk.Tracks())
+	st.Suspects = r.suspectTracksLocked()
 	r.trkMu.Unlock()
 	return st
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"rfprotect/internal/core"
+	"rfprotect/internal/detect"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/pipeline"
@@ -84,7 +86,7 @@ func referenceTracks(t *testing.T, cfg RoomConfig) []TrackDump {
 	trs := trk.Tracks()
 	out := make([]TrackDump, len(trs))
 	for i, tr := range trs {
-		out[i] = trackDump(tr)
+		out[i] = trackDump(tr, detect.TrackScore{})
 	}
 	return out
 }
@@ -448,6 +450,69 @@ func TestDuplicateRoomRejected(t *testing.T) {
 	}
 	if _, err := m.CreateRoom(RoomConfig{ID: "dup", Frames: 2}); err != ErrRoomExists {
 		t.Fatalf("duplicate create: err %v, want ErrRoomExists", err)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpoofScoresConcurrentWithStreaming hammers the spoof-score read path
+// while the room's runner is mid-capture: the emit stage advances the
+// tracker and feeds the scorer under trkMu on the runner goroutine while
+// several goroutines poll dumps, statuses, and the suspect count. Run under
+// -race this pins the locking contract; the final dump must show the scorer
+// actually observed frames.
+func TestSpoofScoresConcurrentWithStreaming(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := NewManager(ctx, 2)
+	cx := scene.NewScene(scene.HomeRoom(), fmcw.DefaultParams()).Radar.Position.X
+	human, ghost := smokeTraj(cx, 96)
+	r, err := m.CreateRoom(RoomConfig{
+		ID: "spoof", Seed: 7, Frames: 96, DopplerWindow: 8,
+		Humans: []TrajSpec{{Points: human}}, Ghosts: []TrajSpec{{Points: ghost}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-r.done:
+					return
+				default:
+				}
+				for _, d := range r.TrackDumps() {
+					if math.IsNaN(d.Suspicion) || d.Suspicion < 0 {
+						t.Errorf("mid-capture suspicion %v on track %d", d.Suspicion, d.ID)
+						return
+					}
+				}
+				if s := r.Status(); s.Suspects < 0 || s.Suspects > s.Tracks {
+					t.Errorf("suspects %d out of range for %d tracks", s.Suspects, s.Tracks)
+					return
+				}
+			}
+		}()
+	}
+	<-r.done
+	wg.Wait()
+
+	dumps := r.TrackDumps()
+	if len(dumps) == 0 {
+		t.Fatal("capture produced no tracks")
+	}
+	scored := 0
+	for _, d := range dumps {
+		scored += d.ScoredFrames
+	}
+	if scored == 0 {
+		t.Fatal("spoof scorer observed no range–Doppler frames")
 	}
 	if err := m.Drain(context.Background()); err != nil {
 		t.Fatal(err)

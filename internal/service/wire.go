@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rfprotect/internal/detect"
 	"rfprotect/internal/fmcw"
 	"rfprotect/internal/geom"
 	"rfprotect/internal/radar"
@@ -180,8 +181,9 @@ type DetectionSpec struct {
 	Y     float64 `json:"y"`
 }
 
-// TrackSpec is the wire snapshot of one track: its latest point plus the
-// Doppler radial velocity when a Doppler stage is attached.
+// TrackSpec is the wire snapshot of one track: its latest point, the
+// Doppler radial velocity when a Doppler stage is attached, and the live
+// spoof-suspicion score from the adversary suite.
 type TrackSpec struct {
 	ID             int     `json:"id"`
 	Confirmed      bool    `json:"confirmed"`
@@ -191,16 +193,22 @@ type TrackSpec struct {
 	Y              float64 `json:"y"`
 	RadialVelocity float64 `json:"radial_velocity,omitempty"`
 	HasVelocity    bool    `json:"has_velocity,omitempty"`
+	// Suspicion is the combined spoof score in threshold units: >= 1 means
+	// some detector crossed its default threshold and the track is flagged.
+	Suspicion float64 `json:"suspicion,omitempty"`
+	Suspect   bool    `json:"suspect,omitempty"`
 }
 
 // trackSpec snapshots a live track's latest point.
-func trackSpec(tr *radar.Track) TrackSpec {
+func trackSpec(tr *radar.Track, sc detect.TrackScore) TrackSpec {
 	ts := TrackSpec{
 		ID:             tr.ID,
 		Confirmed:      tr.Confirmed,
 		Points:         len(tr.Points),
 		RadialVelocity: tr.RadialVelocity,
 		HasVelocity:    tr.HasVelocity,
+		Suspicion:      sc.Suspicion,
+		Suspect:        sc.Flagged(),
 	}
 	if n := len(tr.Points); n > 0 {
 		ts.Time = tr.Points[n-1].Time
@@ -212,10 +220,19 @@ func trackSpec(tr *radar.Track) TrackSpec {
 
 // TrackDump is the full-resolution track export of GET /rooms/{id}/tracks.
 type TrackDump struct {
-	ID             int          `json:"id"`
-	Confirmed      bool         `json:"confirmed"`
-	RadialVelocity float64      `json:"radial_velocity,omitempty"`
-	HasVelocity    bool         `json:"has_velocity,omitempty"`
+	ID             int     `json:"id"`
+	Confirmed      bool    `json:"confirmed"`
+	RadialVelocity float64 `json:"radial_velocity,omitempty"`
+	HasVelocity    bool    `json:"has_velocity,omitempty"`
+	// The spoof-suspicion breakdown: the raw switching-harmonic and
+	// kinematic-consistency scores, the combined suspicion in threshold
+	// units, the number of range–Doppler frames that contributed harmonic
+	// evidence, and the flag verdict at the default thresholds.
+	SpoofHarmonic  float64      `json:"spoof_harmonic,omitempty"`
+	SpoofKinematic float64      `json:"spoof_kinematic,omitempty"`
+	Suspicion      float64      `json:"suspicion,omitempty"`
+	ScoredFrames   int          `json:"scored_frames,omitempty"`
+	Suspect        bool         `json:"suspect,omitempty"`
 	Points         []TimedPoint `json:"points"`
 }
 
@@ -227,12 +244,17 @@ type TimedPoint struct {
 }
 
 // trackDump exports a track at full resolution.
-func trackDump(tr *radar.Track) TrackDump {
+func trackDump(tr *radar.Track, sc detect.TrackScore) TrackDump {
 	d := TrackDump{
 		ID:             tr.ID,
 		Confirmed:      tr.Confirmed,
 		RadialVelocity: tr.RadialVelocity,
 		HasVelocity:    tr.HasVelocity,
+		SpoofHarmonic:  sc.Harmonic,
+		SpoofKinematic: sc.Kinematic,
+		Suspicion:      sc.Suspicion,
+		ScoredFrames:   sc.Frames,
+		Suspect:        sc.Flagged(),
 		Points:         make([]TimedPoint, len(tr.Points)),
 	}
 	for i, p := range tr.Points {
@@ -252,9 +274,12 @@ type RoomStatus struct {
 	// QueueDepth is the current ingest backlog (ingest rooms).
 	QueueDepth int `json:"queue_depth"`
 	// Dropped counts frames shed by the full-queue policy.
-	Dropped int64  `json:"dropped,omitempty"`
-	Tracks  int    `json:"tracks"`
-	Error   string `json:"error,omitempty"`
+	Dropped int64 `json:"dropped,omitempty"`
+	Tracks  int   `json:"tracks"`
+	// Suspects counts tracks flagged by the spoof-detection suite at the
+	// default thresholds.
+	Suspects int    `json:"suspect_tracks"`
+	Error    string `json:"error,omitempty"`
 }
 
 // GhostStatus is one disclosure record on the wire.
