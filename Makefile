@@ -6,7 +6,7 @@ GO ?= go
 COVER_MIN ?= 80
 COVER_PKGS ?= ./internal/pipeline ./internal/dsp ./internal/detect
 
-.PHONY: build vet lint test race short bench bench-go bench-json benchdiff cover fuzz daemon-smoke ci
+.PHONY: build vet lint lint-deep test race short bench bench-go bench-json benchdiff cover fuzz daemon-smoke ci
 
 build:
 	$(GO) build ./...
@@ -16,14 +16,22 @@ vet:
 
 # Formatting + static-analysis gate: fails when any file needs gofmt, go
 # vet reports a problem, or the repo-specific invariant suite (cmd/rfvet:
-# seedsplit, ctxflow, goroleak, wallclock — see DESIGN.md "Static
-# analysis") finds a violation. (Plain stdlib tooling — no external
-# linters; rfvet is built from this repo.)
+# seedsplit, ctxflow, goroleak, wallclock, poolcheck, lockorder, saturate —
+# see DESIGN.md "Static analysis") finds a violation. Every //rfvet:allow
+# must carry a `-- justification`. (Plain stdlib tooling — no external
+# linters; rfvet is built from this repo.) Fast: AST/type analysis only, no
+# compiler invocation — the escape-analysis gate lives in lint-deep.
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/rfvet ./...
+	$(GO) run ./cmd/rfvet -require-justification ./...
+
+# lint plus the allocfree pass: rebuild with -gcflags=-m and fail if any
+# //rfvet:allocfree-annotated hot path has a heap-escape diagnostic. Slower
+# than lint (it runs the compiler), so it is its own target; ci runs it.
+lint-deep: lint
+	$(GO) run ./cmd/rfvet -require-justification -allocfree ./...
 
 test:
 	$(GO) test ./...
@@ -91,4 +99,4 @@ daemon-smoke:
 		-run 'TestSmokeConcurrentRoomsBitIdentical|TestIngestDrainNoFrameLoss|TestDaemonSIGTERMDrain' \
 		./internal/service ./cmd/rfprotectd
 
-ci: lint build race cover fuzz benchdiff daemon-smoke
+ci: lint-deep build race cover fuzz benchdiff daemon-smoke

@@ -1,20 +1,33 @@
-// Command rfvet is the repo's invariant multichecker: it runs the four
-// custom analyzers of internal/analysis — seedsplit, ctxflow, goroleak,
-// wallclock — over the given package patterns and exits non-zero if any
-// diagnostic survives the //rfvet:allow escape hatches. `make lint` and CI
-// run it over ./... so every violation of the determinism, context-flow,
-// and goroutine-hygiene contracts fails the build.
+// Command rfvet is the repo's invariant multichecker: it runs the seven
+// AST analyzers of internal/analysis — seedsplit, ctxflow, goroleak,
+// wallclock, poolcheck, lockorder, saturate — over the given package
+// patterns, optionally adds the allocfree escape-analysis pass, and exits
+// non-zero if any diagnostic survives the //rfvet:allow escape hatches.
+// `make lint` and CI run it over ./... so every violation of the
+// determinism, context-flow, goroutine-hygiene, buffer-ownership,
+// lock-order, and saturation contracts fails the build.
 //
 // Usage:
 //
-//	rfvet [-seedsplit=false] [-ctxflow=false] [-goroleak=false] [-wallclock=false] [patterns]
+//	rfvet [-seedsplit=false ... -saturate=false] [-allocfree]
+//	      [-require-justification] [-json] [patterns]
 //
 // Patterns default to ./... and follow the go tool's shape: ./... for the
 // whole module, dir/... for a subtree, or a single package directory.
+//
+//   - -allocfree additionally runs `go build -gcflags=-m` and fails on
+//     heap escapes inside //rfvet:allocfree-annotated functions.
+//   - -require-justification fails any //rfvet:allow comment missing its
+//     "-- justification" clause.
+//   - -json emits one JSON object per line (analyzer, pos, message,
+//     allowedBy) including suppressed diagnostics, for the CI audit
+//     artifact; the exit code still reflects only live diagnostics.
+//
 // Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +35,28 @@ import (
 	"rfprotect/internal/analysis"
 )
 
+// jsonDiag is the -json wire shape: one object per line, stable field
+// names so CI artifacts diff cleanly across PRs.
+type jsonDiag struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Message   string `json:"message"`
+	AllowedBy string `json:"allowedBy,omitempty"`
+}
+
 func main() {
 	enabled := map[string]*bool{}
 	for _, a := range analysis.All() {
 		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
 	}
+	allocfree := flag.Bool("allocfree", false,
+		"also run the go build -gcflags=-m escape check over //rfvet:allocfree functions")
+	requireJust := flag.Bool("require-justification", false,
+		"fail //rfvet:allow comments that lack a -- justification clause")
+	jsonOut := flag.Bool("json", false,
+		"emit diagnostics as JSON lines (including allowed ones) instead of text")
 	flag.Parse()
 
 	var run []*analysis.Analyzer
@@ -44,16 +74,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rfvet:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Vet(cwd, run, patterns)
+	opts := analysis.Options{
+		RequireJustification: *requireJust,
+		IncludeAllowed:       *jsonOut,
+	}
+	diags, err := analysis.VetWith(opts, cwd, run, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rfvet:", err)
 		os.Exit(2)
 	}
+	if *allocfree {
+		extra, err := analysis.AllocFree(opts, cwd, patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfvet:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, extra...)
+	}
+
+	live := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if !d.Allowed {
+			live++
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonDiag{
+				Analyzer:  d.Analyzer,
+				File:      d.Pos.Filename,
+				Line:      d.Pos.Line,
+				Col:       d.Pos.Column,
+				Message:   d.Message,
+				AllowedBy: d.AllowedBy,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "rfvet:", err)
+				os.Exit(2)
+			}
+			continue
+		}
 		fmt.Println(d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "rfvet: %d violation(s)\n", len(diags))
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "rfvet: %d violation(s)\n", live)
 		os.Exit(1)
 	}
 }

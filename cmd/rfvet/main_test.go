@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"rfprotect/internal/analysis"
@@ -54,5 +57,175 @@ func TestSmokeBinary(t *testing.T) {
 		if n := strings.Count(string(out), tag); n != 1 {
 			t.Errorf("output mentions %s %d times, want exactly 1; output:\n%s", tag, n, out)
 		}
+	}
+}
+
+var rfvetBinary struct {
+	once sync.Once
+	path string
+	err  error
+}
+
+// runRfvet executes a compiled rfvet binary (built once per test run; `go
+// run` cannot be used because it flattens every nonzero child exit to 1)
+// and returns its exit code and combined output.
+func runRfvet(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	rfvetBinary.once.Do(func() {
+		dir, err := os.MkdirTemp("", "rfvet-test-*")
+		if err != nil {
+			rfvetBinary.err = err
+			return
+		}
+		rfvetBinary.path = filepath.Join(dir, "rfvet")
+		cmd := exec.Command(goTool, "build", "-o", rfvetBinary.path, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			rfvetBinary.err = fmt.Errorf("build rfvet: %v\n%s", err, out)
+		}
+	})
+	if rfvetBinary.err != nil {
+		t.Fatal(rfvetBinary.err)
+	}
+	cmd := exec.Command(rfvetBinary.path, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("rfvet %v: %v\n%s", args, err, out)
+	}
+	return exitErr.ExitCode(), string(out)
+}
+
+// TestExitCodes pins the documented contract: 0 clean, 1 diagnostics,
+// 2 operational error.
+func TestExitCodes(t *testing.T) {
+	if code, out := runRfvet(t, filepath.Join("testdata", "allowmodule")+"/..."); code != 0 {
+		t.Errorf("clean module: exit %d, want 0; output:\n%s", code, out)
+	}
+	if code, out := runRfvet(t, filepath.Join("testdata", "badmodule")+"/..."); code != 1 {
+		t.Errorf("bad module: exit %d, want 1; output:\n%s", code, out)
+	}
+	if code, out := runRfvet(t, filepath.Join("testdata", "does-not-exist")+"/..."); code != 2 {
+		t.Errorf("missing dir: exit %d, want 2; output:\n%s", code, out)
+	}
+}
+
+// TestRequireJustification asserts that the allowmodule fixture — clean by
+// default — fails once -require-justification demands a "-- reason" on its
+// naked allow.
+func TestRequireJustification(t *testing.T) {
+	code, out := runRfvet(t, "-require-justification", filepath.Join("testdata", "allowmodule")+"/...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if n := strings.Count(out, "[allow]"); n != 1 {
+		t.Errorf("output mentions [allow] %d times, want exactly 1; output:\n%s", n, out)
+	}
+	if !strings.Contains(out, "justification") {
+		t.Errorf("diagnostic does not explain the missing justification:\n%s", out)
+	}
+}
+
+// TestAllocFreeEscapeFixture runs the escape-analysis pass directly over
+// the fixture module: the deliberate escape in Boxed must be the one and
+// only diagnostic — Clean is annotated but allocation-free, Unannotated
+// escapes out of scope.
+func TestAllocFreeEscapeFixture(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "escapemodule"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.AllocFree(analysis.Options{}, dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("allocfree: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1:\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != analysis.AllocFreeAnalyzerName {
+		t.Errorf("analyzer = %q, want %q", d.Analyzer, analysis.AllocFreeAnalyzerName)
+	}
+	if !strings.Contains(d.Message, "Boxed") {
+		t.Errorf("diagnostic does not name the annotated function: %s", d)
+	}
+	if filepath.Base(d.Pos.Filename) != "esc.go" {
+		t.Errorf("diagnostic in %s, want esc.go", d.Pos.Filename)
+	}
+}
+
+// TestAllocFreeBinary drives the same check through the -allocfree flag.
+func TestAllocFreeBinary(t *testing.T) {
+	code, out := runRfvet(t, "-allocfree", filepath.Join("testdata", "escapemodule")+"/...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if n := strings.Count(out, "[allocfree]"); n != 1 {
+		t.Errorf("output mentions [allocfree] %d times, want exactly 1; output:\n%s", n, out)
+	}
+}
+
+// TestJSONOutput checks the -json wire format over the bad module: one
+// object per line, every analyzer present, and the allowmodule's
+// suppressed diagnostic carried with its allowedBy trail.
+func TestJSONOutput(t *testing.T) {
+	code, out := runRfvet(t, "-json", filepath.Join("testdata", "badmodule")+"/...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	type diag struct {
+		Analyzer  string `json:"analyzer"`
+		File      string `json:"file"`
+		Line      int    `json:"line"`
+		Message   string `json:"message"`
+		AllowedBy string `json:"allowedBy"`
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // the trailing "rfvet: N violation(s)" stderr line
+		}
+		var d diag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %q", line)
+		}
+		counts[d.Analyzer]++
+	}
+	for _, a := range analysis.All() {
+		if counts[a.Name] != 1 {
+			t.Errorf("JSON output has %d %s diagnostics, want 1", counts[a.Name], a.Name)
+		}
+	}
+
+	// The allowmodule run is clean (exit 0) but -json still surfaces the
+	// suppressed wallclock hit with its allow position.
+	code, out = runRfvet(t, "-json", filepath.Join("testdata", "allowmodule")+"/...")
+	if code != 0 {
+		t.Fatalf("allowmodule with -json: exit %d, want 0; output:\n%s", code, out)
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var d diag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if d.Analyzer == "wallclock" && d.AllowedBy != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suppressed wallclock diagnostic with allowedBy not in -json output:\n%s", out)
 	}
 }

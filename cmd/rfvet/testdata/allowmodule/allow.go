@@ -1,0 +1,12 @@
+// Package allowfixture exercises the -require-justification gate: its one
+// violation is suppressed by an //rfvet:allow comment that names the
+// analyzer but records no "-- justification" clause. A plain run is clean;
+// a -require-justification run reports the naked allow.
+package allowfixture
+
+import "time"
+
+// Stamp reads the wall clock behind an unjustified exemption.
+func Stamp() time.Time {
+	return time.Now() //rfvet:allow wallclock
+}

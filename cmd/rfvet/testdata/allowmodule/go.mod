@@ -1,0 +1,3 @@
+module allowfixture
+
+go 1.22

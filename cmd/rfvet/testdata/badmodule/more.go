@@ -1,0 +1,68 @@
+package bad
+
+import (
+	"math"
+	"sync"
+)
+
+// This file extends the known-bad fixture with one violation for each of
+// the PR 9 analyzers — poolcheck, lockorder, saturate — exactly one each,
+// and nothing that would re-trip the original four.
+
+// Buf and BufPool give poolcheck a first-party free list to track.
+type Buf struct{ data []float64 }
+
+type BufPool struct{ free []*Buf }
+
+func (p *BufPool) Get() *Buf {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &Buf{data: make([]float64, 4)}
+}
+
+func (p *BufPool) Put(b *Buf) { p.free = append(p.free, b) }
+
+// DropBuffer trips poolcheck: the checkout never reaches a Put and is
+// never handed off.
+func DropBuffer(p *BufPool) {
+	b := p.Get()
+	b.data[0] = 1
+}
+
+// locks carries a two-level rank hierarchy for lockorder.
+type locks struct {
+	//rfvet:lockrank 10
+	low sync.Mutex
+
+	//rfvet:lockrank 20
+	high sync.Mutex
+}
+
+// Invert trips lockorder: the low-rank lock is taken under the high-rank
+// one.
+func (l *locks) Invert() {
+	l.high.Lock()
+	l.low.Lock()
+	l.low.Unlock()
+	l.high.Unlock()
+}
+
+// finiteOrHuge opts the package into the saturate contract.
+func finiteOrHuge(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 0) {
+		return math.Copysign(math.MaxFloat64, v)
+	}
+	return v
+}
+
+// Score trips saturate: an exported float64 result that skips
+// finiteOrHuge.
+func Score(a, b float64) float64 {
+	return a * b
+}

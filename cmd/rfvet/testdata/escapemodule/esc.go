@@ -1,0 +1,31 @@
+// Package esc is the negative-test fixture for the allocfree pass: one
+// annotated function with a deliberate heap escape (the compiler must
+// flag it), one annotated function that is genuinely allocation-free, and
+// one unannotated function whose escapes are out of scope.
+package esc
+
+// Boxed deliberately escapes a local: returning the address of a stack
+// variable moves it to the heap.
+//
+//rfvet:allocfree
+func Boxed(n int) *int {
+	v := n
+	return &v
+}
+
+// Clean is annotated and allocation-free: everything stays on the stack.
+//
+//rfvet:allocfree
+func Clean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Unannotated escapes freely without tripping the pass.
+func Unannotated(n int) *int {
+	v := n
+	return &v
+}

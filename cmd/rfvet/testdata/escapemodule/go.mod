@@ -1,0 +1,3 @@
+module escapefixture
+
+go 1.22

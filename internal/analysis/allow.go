@@ -8,11 +8,14 @@ import (
 
 // allowMarker introduces an escape-hatch comment. The grammar is
 //
-//	//rfvet:allow <analyzer> [<analyzer>...] [-- <justification>]
+//	//rfvet:allow <analyzer> [<analyzer>...] -- <justification>
 //
 // The analyzer list names which checks are suppressed ("all" suppresses
-// every analyzer); everything after "--" is a free-form justification and
-// is ignored by the machine but required by review convention. Scope:
+// every analyzer); everything after "--" is a free-form justification.
+// A marker with no analyzer list is itself a diagnostic (it would
+// otherwise parse as suppressing nothing while looking like an exemption),
+// and under -require-justification a marker without the "-- reason" clause
+// is one too. Scope:
 //
 //   - a trailing comment suppresses its own source line;
 //   - a comment on its own line also suppresses the line below it;
@@ -21,54 +24,83 @@ import (
 //     whose entire body legitimately touches the wall clock).
 const allowMarker = "//rfvet:allow"
 
+// allowAnalyzerName is the pseudo-analyzer under which problems with the
+// allow comments themselves are reported. It is deliberately not
+// suppressible: an //rfvet:allow cannot vouch for another //rfvet:allow.
+const allowAnalyzerName = "allow"
+
 // lineRange is an inclusive range of lines within one file.
 type lineRange struct{ from, to int }
 
-// allowSet indexes the //rfvet:allow comments of one package:
-// filename -> analyzer name -> suppressed line ranges.
-type allowSet map[string]map[string][]lineRange
+// allowEntry is one (analyzer, range) grant from a single allow comment.
+type allowEntry struct {
+	name          string
+	rng           lineRange
+	pos           token.Position // position of the comment itself
+	justification string
+}
+
+// allowSet indexes the //rfvet:allow comments of one package by filename.
+type allowSet map[string][]*allowEntry
+
+// find returns the entry suppressing a diagnostic from the named analyzer
+// at pos, or nil.
+func (s allowSet) find(analyzer string, pos token.Position) *allowEntry {
+	for _, e := range s[pos.Filename] {
+		if e.name != analyzer && e.name != "all" {
+			continue
+		}
+		if pos.Line >= e.rng.from && pos.Line <= e.rng.to {
+			return e
+		}
+	}
+	return nil
+}
 
 // allows reports whether a diagnostic from the named analyzer at pos is
 // suppressed.
 func (s allowSet) allows(analyzer string, pos token.Position) bool {
-	byName := s[pos.Filename]
-	for _, name := range []string{analyzer, "all"} {
-		for _, r := range byName[name] {
-			if pos.Line >= r.from && pos.Line <= r.to {
-				return true
-			}
-		}
-	}
-	return false
+	return s.find(analyzer, pos) != nil
 }
 
-// parseAllow extracts the analyzer names from one comment's text, or nil
-// if the comment is not an allow marker.
-func parseAllow(text string) []string {
+// allowIssue is a problem with an allow comment itself.
+type allowIssue struct {
+	pos  token.Position
+	kind string // "bare" or "nojust"
+}
+
+// parseAllow splits one comment's text into analyzer names and the
+// justification clause. ok is false when the comment is not an allow
+// marker at all; a marker with no names returns ok true and an empty,
+// non-nil names slice.
+func parseAllow(text string) (names []string, justification string, ok bool) {
 	if !strings.HasPrefix(text, allowMarker) {
-		return nil
+		return nil, "", false
 	}
 	rest := strings.TrimPrefix(text, allowMarker)
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return nil // e.g. //rfvet:allowother
+		return nil, "", false // e.g. //rfvet:allowother
 	}
 	if i := strings.Index(rest, "--"); i >= 0 {
+		justification = strings.TrimSpace(rest[i+2:])
 		rest = rest[:i]
 	}
-	return strings.Fields(rest)
+	names = strings.Fields(rest)
+	if names == nil {
+		names = []string{}
+	}
+	return names, justification, true
 }
 
-// collectAllows builds the allowSet for a package's files.
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+// collectAllows builds the allowSet for a package's files and reports the
+// comments that are malformed as exemptions: a bare marker naming no
+// analyzer, and (for -require-justification) a marker with no "-- reason".
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []allowIssue) {
 	set := allowSet{}
-	add := func(file string, names []string, r lineRange) {
-		byName := set[file]
-		if byName == nil {
-			byName = map[string][]lineRange{}
-			set[file] = byName
-		}
+	var issues []allowIssue
+	add := func(file string, names []string, just string, pos token.Position, r lineRange) {
 		for _, n := range names {
-			byName[n] = append(byName[n], r)
+			set[file] = append(set[file], &allowEntry{name: n, rng: r, pos: pos, justification: just})
 		}
 	}
 	for _, f := range files {
@@ -91,18 +123,25 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names := parseAllow(c.Text)
-				if names == nil {
+				names, just, ok := parseAllow(c.Text)
+				if !ok {
 					continue
 				}
-				file := fset.Position(c.Pos()).Filename
-				line := fset.Position(c.Pos()).Line
-				add(file, names, lineRange{from: line, to: line + 1})
+				pos := fset.Position(c.Pos())
+				if len(names) == 0 {
+					issues = append(issues, allowIssue{pos: pos, kind: "bare"})
+					continue
+				}
+				if just == "" {
+					issues = append(issues, allowIssue{pos: pos, kind: "nojust"})
+				}
+				line := pos.Line
+				add(pos.Filename, names, just, pos, lineRange{from: line, to: line + 1})
 				if r, ok := docRange[cg]; ok {
-					add(file, names, r)
+					add(pos.Filename, names, just, pos, r)
 				}
 			}
 		}
 	}
-	return set
+	return set, issues
 }

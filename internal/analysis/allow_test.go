@@ -10,19 +10,31 @@ import (
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
-		text string
-		want []string
+		text     string
+		want     []string
+		wantJust string
+		wantOK   bool
 	}{
-		{"//rfvet:allow wallclock", []string{"wallclock"}},
-		{"//rfvet:allow wallclock ctxflow -- pacing wrapper", []string{"wallclock", "ctxflow"}},
-		{"//rfvet:allow all -- whole file of exceptions", []string{"all"}},
-		{"//rfvet:allow", []string{}},
-		{"//rfvet:allowother", nil},
-		{"// ordinary comment", nil},
-		{"//rfvet:deny wallclock", nil},
+		{"//rfvet:allow wallclock", []string{"wallclock"}, "", true},
+		{"//rfvet:allow wallclock ctxflow -- pacing wrapper", []string{"wallclock", "ctxflow"}, "pacing wrapper", true},
+		{"//rfvet:allow all -- whole file of exceptions", []string{"all"}, "whole file of exceptions", true},
+		// A bare marker still parses (so collectAllows can flag it as a
+		// diagnostic) but grants nothing.
+		{"//rfvet:allow", []string{}, "", true},
+		{"//rfvet:allow -- reason but no analyzers", []string{}, "reason but no analyzers", true},
+		{"//rfvet:allowother", nil, "", false},
+		{"// ordinary comment", nil, "", false},
+		{"//rfvet:deny wallclock", nil, "", false},
 	}
 	for _, c := range cases {
-		got := parseAllow(c.text)
+		got, just, ok := parseAllow(c.text)
+		if ok != c.wantOK {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", c.text, ok, c.wantOK)
+			continue
+		}
+		if just != c.wantJust {
+			t.Errorf("parseAllow(%q) justification = %q, want %q", c.text, just, c.wantJust)
+		}
 		if len(got) == 0 && len(c.want) == 0 {
 			if (got == nil) != (c.want == nil) {
 				t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
@@ -32,6 +44,49 @@ func TestParseAllow(t *testing.T) {
 		if !reflect.DeepEqual(got, c.want) {
 			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
 		}
+	}
+}
+
+func TestCollectAllowIssues(t *testing.T) {
+	src := `package p
+
+func f() {
+	x := 1 //rfvet:allow
+	y := 2 //rfvet:allow wallclock
+	z := 3 //rfvet:allow wallclock -- justified
+	_, _, _ = x, y, z
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, issues := collectAllows(fset, []*ast.File{file})
+	if len(issues) != 2 {
+		t.Fatalf("got %d issues, want 2 (one bare, one nojust): %+v", len(issues), issues)
+	}
+	kinds := map[string]int{}
+	for _, is := range issues {
+		kinds[is.kind]++
+	}
+	if kinds["bare"] != 1 || kinds["nojust"] != 1 {
+		t.Errorf("issue kinds = %v, want one bare and one nojust", kinds)
+	}
+	// The unjustified (but non-bare) allow still suppresses.
+	if !set.allows("wallclock", token.Position{Filename: "p.go", Line: 5}) {
+		t.Error("unjustified allow lost its suppression")
+	}
+	// The bare allow grants nothing.
+	if set.allows("wallclock", token.Position{Filename: "p.go", Line: 4}) {
+		t.Error("bare allow suppressed something")
+	}
+	// find returns the justification for the audit trail. (Line 7 is
+	// covered only by the justified line-6 comment; line 6 itself is also
+	// in the line-5 comment's own-line-plus-next scope.)
+	e := set.find("wallclock", token.Position{Filename: "p.go", Line: 7})
+	if e == nil || e.justification != "justified" {
+		t.Errorf("find returned %+v, want justification %q", e, "justified")
 	}
 }
 
@@ -58,7 +113,10 @@ func g() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	set := collectAllows(fset, []*ast.File{file})
+	set, issues := collectAllows(fset, []*ast.File{file})
+	if len(issues) != 0 {
+		t.Fatalf("unexpected allow issues: %+v", issues)
+	}
 
 	at := func(line int) token.Position {
 		return token.Position{Filename: "p.go", Line: line}

@@ -19,6 +19,19 @@
 //     the function that spawned it.
 //   - wallclock: no wall-clock reads (time.Now, time.Sleep, ...) in
 //     deterministic library code.
+//   - poolcheck: pooled buffers (FramePool/ProfilePool/... Get, the
+//     pipeline Item list) must reach Put on every non-error path or be
+//     handed off; no use-after-Put; no capture by goroutine closures.
+//   - lockorder: //rfvet:lockrank-annotated mutexes must be acquired in
+//     strictly increasing rank order, including through same-package
+//     calls (the shard → room → trkMu hierarchy, checked like lockdep).
+//   - saturate: in packages defining finiteOrHuge, exported float64
+//     results must be saturated through it.
+//
+// An eighth check, allocfree (escape.go), is not a Pass-based analyzer: it
+// drives `go build -gcflags=-m` and fails when a //rfvet:allocfree-
+// annotated function has a heap-escape diagnostic. cmd/rfvet runs it
+// behind the -allocfree flag.
 //
 // Any diagnostic can be suppressed at the source line with an escape
 // hatch comment — see allow.go for the grammar.
@@ -48,9 +61,11 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// All returns the full rfvet suite in stable order.
+// All returns the full rfvet AST-analyzer suite in stable order. The
+// allocfree escape-analysis pass is separate (see AllocFree): it needs the
+// compiler, not a Pass.
 func All() []*Analyzer {
-	return []*Analyzer{SeedSplit, CtxFlow, GoroLeak, WallClock}
+	return []*Analyzer{SeedSplit, CtxFlow, GoroLeak, WallClock, PoolCheck, LockOrder, Saturate}
 }
 
 // Diagnostic is one reported violation, positioned in the loaded FileSet.
@@ -58,11 +73,30 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+
+	// Allowed marks a diagnostic that an //rfvet:allow comment
+	// suppresses. Such diagnostics are dropped from normal runs and do
+	// not affect exit codes; Options.IncludeAllowed keeps them (for the
+	// -json audit trail) with AllowedBy naming the suppressing comment.
+	Allowed   bool
+	AllowedBy string
 }
 
 // String renders the diagnostic in the file:line:col style go vet uses.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Options tunes a Run beyond the analyzer list.
+type Options struct {
+	// RequireJustification reports any //rfvet:allow comment missing the
+	// "-- justification" clause (make lint sets this: an exemption
+	// without a recorded reason is unreviewable).
+	RequireJustification bool
+
+	// IncludeAllowed keeps suppressed diagnostics in the result, marked
+	// Allowed with AllowedBy set, instead of dropping them.
+	IncludeAllowed bool
 }
 
 // Pass carries one analyzer's view of one type-checked package, in the
@@ -100,9 +134,32 @@ func (p *Pass) IsMain() bool { return p.Pkg.Name() == "main" }
 // sorted by position then analyzer name. It is the engine behind both
 // cmd/rfvet and the analysistest harness.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	return RunWith(Options{}, analyzers, pkgs)
+}
+
+// RunWith is Run with explicit options.
+func RunWith(opts Options, analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		allow := collectAllows(pkg.Fset, pkg.Files)
+		allow, issues := collectAllows(pkg.Fset, pkg.Files)
+		for _, is := range issues {
+			switch is.kind {
+			case "bare":
+				diags = append(diags, Diagnostic{
+					Pos:      is.pos,
+					Analyzer: allowAnalyzerName,
+					Message:  "bare " + allowMarker + " names no analyzer and suppresses nothing: list the analyzers (or \"all\")",
+				})
+			case "nojust":
+				if opts.RequireJustification {
+					diags = append(diags, Diagnostic{
+						Pos:      is.pos,
+						Analyzer: allowAnalyzerName,
+						Message:  allowMarker + " without a \"-- justification\" clause: record why the exemption is sound",
+					})
+				}
+			}
+		}
 		for _, a := range analyzers {
 			var raw []Diagnostic
 			pass := &Pass{
@@ -118,12 +175,24 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 			for _, d := range raw {
-				if !allow.allows(a.Name, d.Pos) {
-					diags = append(diags, d)
+				if e := allow.find(a.Name, d.Pos); e != nil {
+					if opts.IncludeAllowed {
+						d.Allowed = true
+						d.AllowedBy = e.pos.String() + ": " + e.justification
+						diags = append(diags, d)
+					}
+					continue
 				}
+				diags = append(diags, d)
 			}
 		}
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders by file, line, column, then analyzer name.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -137,5 +206,4 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }

@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the allocfree pass: the eighth rfvet check, and the one
+// that is not an AST analyzer. Functions on the zero-alloc hot path carry
+// a
+//
+//	//rfvet:allocfree
+//
+// doc-comment annotation; the pass runs `go build -gcflags=-m` over the
+// packages that contain one and fails if the compiler reports a heap
+// escape ("escapes to heap" / "moved to heap") inside an annotated
+// function's body. That turns the benchmark-only zero-alloc gate
+// (make benchdiff's exact allocs/op rows) into a compile-time one: the
+// escape is caught at the line that introduced it, before any benchmark
+// runs.
+//
+// Two diagnostic classes are excluded on purpose:
+//   - "leaking param" / "does not escape" lines are facts, not
+//     allocations;
+//   - escapes on a line that calls panic are the panic argument being
+//     boxed — the panic path is not the steady-state path the contract
+//     protects.
+//
+// `go build` replays compiler diagnostics from the build cache on
+// identical inputs, so repeated runs stay cheap and need no cache-busting.
+
+// allocfreeMarker annotates a function that must compile without heap
+// escapes in its body.
+const allocfreeMarker = "//rfvet:allocfree"
+
+// AllocFreeAnalyzerName is the analyzer tag on allocfree diagnostics.
+const AllocFreeAnalyzerName = "allocfree"
+
+// annotatedFunc is one //rfvet:allocfree function found by the parse scan.
+type annotatedFunc struct {
+	file       string // absolute path
+	name       string
+	from, to   int          // body line range, inclusive
+	panicLines map[int]bool // lines whose escapes are panic-argument boxing
+}
+
+// AllocFree resolves patterns exactly like Vet (loaders rooted at each
+// pattern's base, shared per module), scans the matched packages for
+// //rfvet:allocfree annotations, and checks them against the compiler's
+// escape analysis. A failed build is an error (load error, exit 2 in
+// cmd/rfvet), not a diagnostic.
+func AllocFree(opts Options, dir string, patterns []string) ([]Diagnostic, error) {
+	byModule, err := resolvePatternDirs(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	var funcs []annotatedFunc
+	var escapes []compilerEscape
+	allFiles := map[string][]*ast.File{} // package dir -> parsed files
+	var moduleDirs []string
+	for md := range byModule {
+		moduleDirs = append(moduleDirs, md)
+	}
+	sort.Strings(moduleDirs)
+	for _, moduleDir := range moduleDirs {
+		var buildDirs []string
+		for _, pd := range byModule[moduleDir] {
+			files, fns, err := scanAllocfree(fset, pd)
+			if err != nil {
+				return nil, err
+			}
+			if len(fns) == 0 {
+				continue
+			}
+			funcs = append(funcs, fns...)
+			buildDirs = append(buildDirs, pd)
+			allFiles[pd] = files
+		}
+		if len(buildDirs) == 0 {
+			continue
+		}
+		esc, err := compilerEscapes(moduleDir, buildDirs)
+		if err != nil {
+			return nil, err
+		}
+		escapes = append(escapes, esc...)
+	}
+	if len(funcs) == 0 {
+		return nil, nil
+	}
+
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, e := range escapes {
+		for i := range funcs {
+			fn := &funcs[i]
+			if e.file != fn.file || e.line < fn.from || e.line > fn.to {
+				continue
+			}
+			if fn.panicLines[e.line] {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d:%d:%s", e.file, e.line, e.col, e.msg)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			diags = append(diags, Diagnostic{
+				Pos:      token.Position{Filename: e.file, Line: e.line, Column: e.col},
+				Analyzer: AllocFreeAnalyzerName,
+				Message:  fmt.Sprintf("%s in %s, which is annotated %s: the hot path must not allocate", e.msg, fn.name, allocfreeMarker),
+			})
+			break
+		}
+	}
+
+	// Apply the same //rfvet:allow machinery the AST analyzers use.
+	var kept []Diagnostic
+	allow, _ := collectAllowsAll(fset, allFiles)
+	for _, d := range diags {
+		if e := allow.find(AllocFreeAnalyzerName, d.Pos); e != nil {
+			if opts.IncludeAllowed {
+				d.Allowed = true
+				d.AllowedBy = e.pos.String() + ": " + e.justification
+				kept = append(kept, d)
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+// collectAllowsAll merges the allow sets of several packages' files.
+func collectAllowsAll(fset *token.FileSet, byDir map[string][]*ast.File) (allowSet, []allowIssue) {
+	merged := allowSet{}
+	var issues []allowIssue
+	for _, files := range byDir {
+		set, is := collectAllows(fset, files)
+		for file, entries := range set {
+			merged[file] = append(merged[file], entries...)
+		}
+		issues = append(issues, is...)
+	}
+	return merged, issues
+}
+
+// resolvePatternDirs maps Vet's pattern grammar onto package directories,
+// grouped by the module that owns them (each module gets its own `go
+// build` invocation). Loaders are rooted at each pattern's base, exactly
+// like Vet, so a pattern pointing into a nested fixture module resolves
+// against that module.
+func resolvePatternDirs(dir string, patterns []string) (map[string][]string, error) {
+	out := map[string][]string{}
+	seen := map[string]bool{}
+	add := func(moduleDir, d string) {
+		if !seen[d] {
+			seen[d] = true
+			out[moduleDir] = append(out[moduleDir], d)
+		}
+	}
+	loaders := map[string]*Loader{}
+	loaderFor := func(base string) (*Loader, error) {
+		l, err := NewLoader(base)
+		if err != nil {
+			return nil, err
+		}
+		if shared, ok := loaders[l.ModuleDir]; ok {
+			return shared, nil
+		}
+		loaders[l.ModuleDir] = l
+		return l, nil
+	}
+	for _, pattern := range patterns {
+		base, recursive := strings.CutSuffix(pattern, "/...")
+		if pattern == "..." {
+			base, recursive = ".", true
+		}
+		if base == "" || base == "." {
+			base = dir
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		absBase, err := filepath.Abs(base)
+		if err != nil {
+			return nil, err
+		}
+		loader, err := loaderFor(absBase)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pattern, err)
+		}
+		if !recursive {
+			if !hasGoFiles(absBase) {
+				return nil, fmt.Errorf("pattern %q: no Go files in %s", pattern, absBase)
+			}
+			add(loader.ModuleDir, absBase)
+			continue
+		}
+		all, err := loader.PackageDirs()
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pattern, err)
+		}
+		matched := 0
+		for _, d := range all {
+			if d == absBase || strings.HasPrefix(d, absBase+string(filepath.Separator)) {
+				add(loader.ModuleDir, d)
+				matched++
+			}
+		}
+		if matched == 0 {
+			return nil, fmt.Errorf("pattern %q: no packages under %s", pattern, absBase)
+		}
+	}
+	return out, nil
+}
+
+// scanAllocfree parses one package directory (comments on, no type check —
+// the compiler itself is the checker here) and returns the parsed files
+// plus its annotated functions.
+func scanAllocfree(fset *token.FileSet, dir string) ([]*ast.File, []annotatedFunc, error) {
+	entries, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	var fns []annotatedFunc
+	for _, path := range entries {
+		name := filepath.Base(path)
+		if strings.HasSuffix(name, "_test.go") || !matchFile(dir, name) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasAllocfreeMarker(fd.Doc) {
+				continue
+			}
+			fn := annotatedFunc{
+				file:       path,
+				name:       fd.Name.Name,
+				from:       fset.Position(fd.Body.Pos()).Line,
+				to:         fset.Position(fd.Body.End()).Line,
+				panicLines: map[int]bool{},
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					for l := fset.Position(call.Pos()).Line; l <= fset.Position(call.End()).Line; l++ {
+						fn.panicLines[l] = true
+					}
+				}
+				return true
+			})
+			fns = append(fns, fn)
+		}
+	}
+	return files, fns, nil
+}
+
+func hasAllocfreeMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == allocfreeMarker || strings.HasPrefix(text, allocfreeMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// compilerEscape is one parsed `-gcflags=-m` heap-escape line.
+type compilerEscape struct {
+	file string // absolute
+	line int
+	col  int
+	msg  string
+}
+
+// compilerEscapes builds the named package directories with -gcflags=-m
+// and returns the heap-escape diagnostics. The -gcflags value applies only
+// to packages named on the command line, so dependencies build silently.
+func compilerEscapes(moduleDir string, pkgDirs []string) ([]compilerEscape, error) {
+	args := []string{"build", "-gcflags=-m"}
+	for _, d := range pkgDirs {
+		rel, err := filepath.Rel(moduleDir, d)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// -m diagnostics go to stderr even on success; with a real
+		// compile error the output explains it.
+		return nil, fmt.Errorf("go build -gcflags=-m failed: %v\n%s", err, out)
+	}
+	var escapes []compilerEscape
+	for _, raw := range strings.Split(string(out), "\n") {
+		lineText := strings.TrimSpace(raw)
+		if !strings.Contains(lineText, "escapes to heap") && !strings.Contains(lineText, "moved to heap") {
+			continue
+		}
+		// Format: path/file.go:line:col: message
+		parts := strings.SplitN(lineText, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(moduleDir, file)
+		}
+		escapes = append(escapes, compilerEscape{
+			file: file,
+			line: ln,
+			col:  col,
+			msg:  strings.TrimSpace(parts[3]),
+		})
+	}
+	return escapes, nil
+}

@@ -125,6 +125,27 @@ func (l *Loader) LoadPattern(pattern string) ([]*Package, error) {
 // loadAll walks the module for package directories, skipping testdata,
 // vendor, hidden directories, and nested modules.
 func (l *Loader) loadAll() ([]*Package, error) {
+	dirs, err := l.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// PackageDirs returns every package directory of the module in sorted
+// order — the same set "./..." resolves to — without parsing anything.
+// The allocfree pass uses it to name build targets.
+func (l *Loader) PackageDirs() ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModuleDir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -151,17 +172,7 @@ func (l *Loader) loadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Package
-	for _, dir := range dirs {
-		pkg, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
-		}
-	}
-	return pkgs, nil
+	return dirs, nil
 }
 
 // importPathFor maps a directory inside the module to its import path.

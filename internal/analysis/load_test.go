@@ -1,0 +1,63 @@
+package analysis_test
+
+import (
+	"go/constant"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"rfprotect/internal/analysis"
+)
+
+// TestLoaderBuildConstraints proves the loader's go/build.MatchFile
+// filtering picks exactly the host-matching file set: the fixture package
+// declares the same constants in per-arch variants (filename suffixes) and
+// behind a //go:build tag, so any over-loading is a duplicate-declaration
+// type error and any under-loading changes the observable constant.
+func TestLoaderBuildConstraints(t *testing.T) {
+	dir := filepath.Join("testdata", "constraints")
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if pkg == nil {
+		t.Fatal("no Go files loaded from the constraints fixture")
+	}
+
+	var got []string
+	for _, f := range pkg.Files {
+		got = append(got, filepath.Base(pkg.Fset.Position(f.Pos()).Filename))
+	}
+	sort.Strings(got)
+
+	archFile := "arch_other.go"
+	wantArch := "other"
+	switch runtime.GOARCH {
+	case "amd64", "arm64":
+		archFile = "arch_" + runtime.GOARCH + ".go"
+		wantArch = runtime.GOARCH
+	}
+	want := []string{archFile, "probe.go"}
+	if len(got) != len(want) {
+		t.Fatalf("loaded files = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("loaded files = %v, want %v", got, want)
+		}
+	}
+
+	obj := pkg.Types.Scope().Lookup("hostArch")
+	if obj == nil {
+		t.Fatal("hostArch not declared in loaded package")
+	}
+	val := constant.StringVal(obj.(interface{ Val() constant.Value }).Val())
+	if val != wantArch {
+		t.Errorf("hostArch = %q, want %q", val, wantArch)
+	}
+}

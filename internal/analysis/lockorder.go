@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LockOrder enforces the documented lock hierarchy (DESIGN.md: shard mutex
+// → Room state → trkMu leaf) as a static rank check, in the image of the
+// kernel's lockdep. Mutex fields and package-level mutexes opt in with a
+//
+//	//rfvet:lockrank <n>
+//
+// comment on their declaration; holding a lock of rank h while acquiring a
+// lock of rank <= h — directly, or through a call to a same-package
+// function that may acquire one — is a diagnostic. Unannotated mutexes are
+// invisible to the analyzer, so packages without the comments are
+// unaffected.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "ranked locks (//rfvet:lockrank n) must be acquired in strictly " +
+		"increasing rank order, including through same-package calls",
+	Run: runLockOrder,
+}
+
+const lockrankMarker = "//rfvet:lockrank"
+
+// parseLockrank extracts the rank from one comment line, returning ok
+// false when the line is not a lockrank marker at all and an error message
+// when it is one but malformed.
+func parseLockrank(text string) (rank int, ok bool, malformed string) {
+	if !strings.HasPrefix(text, lockrankMarker) {
+		return 0, false, ""
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, lockrankMarker))
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false, fmt.Sprintf("malformed %s comment: want %q, got %q",
+			lockrankMarker, lockrankMarker+" <integer>", text)
+	}
+	return n, true, ""
+}
+
+func runLockOrder(pass *Pass) error {
+	lo := &lockOrderer{pass: pass, ranks: map[*types.Var]int{}}
+	lo.collectRanks()
+	if len(lo.ranks) == 0 {
+		return nil
+	}
+	lo.buildSummaries()
+	lo.reported = map[string]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lo.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+type lockOrderer struct {
+	pass     *Pass
+	ranks    map[*types.Var]int
+	summary  map[*types.Func]map[*types.Var]bool
+	reported map[string]bool
+}
+
+// collectRanks finds every //rfvet:lockrank annotation on a struct field
+// or var declaration and records the rank under the declared object.
+func (lo *lockOrderer) collectRanks() {
+	for _, f := range lo.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				lo.rankFromComments(n.Names, n.Doc, n.Comment)
+			case *ast.ValueSpec:
+				lo.rankFromComments(n.Names, n.Doc, n.Comment)
+			}
+			return true
+		})
+	}
+}
+
+func (lo *lockOrderer) rankFromComments(names []*ast.Ident, groups ...*ast.CommentGroup) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			rank, ok, malformed := parseLockrank(c.Text)
+			if malformed != "" {
+				lo.pass.Reportf(c.Pos(), "%s", malformed)
+				continue
+			}
+			if !ok {
+				continue
+			}
+			for _, name := range names {
+				if v, isVar := lo.pass.TypesInfo.Defs[name].(*types.Var); isVar {
+					lo.ranks[v] = rank
+				}
+			}
+		}
+	}
+}
+
+// lockVarOf resolves the mutex object of a sync lock/unlock call: for
+// `r.mu.Lock()` it is the field object of `mu`; for a package-level
+// `scrapeMu.Lock()` it is the var object. Returns nil for calls on
+// unannotated or unresolvable receivers.
+func (lo *lockOrderer) lockVarOf(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn := calleeFunc(lo.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	method := fn.Name()
+	var obj types.Object
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		obj = lo.pass.TypesInfo.Uses[x.Sel]
+	case *ast.Ident:
+		obj = lo.pass.TypesInfo.Uses[x]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	if _, ranked := lo.ranks[v]; !ranked {
+		return nil, ""
+	}
+	return v, method
+}
+
+// buildSummaries computes, for every function declared in the package, the
+// set of ranked locks it may acquire — directly or through same-package
+// calls — by fixpoint over the package-local call graph. Function literals
+// are excluded: a literal is typically a goroutine body or deferred
+// cleanup, whose acquisitions do not nest under the spawning call site in
+// any order the rank check can reason about.
+func (lo *lockOrderer) buildSummaries() {
+	direct := map[*types.Func]map[*types.Var]bool{}
+	calls := map[*types.Func]map[*types.Func]bool{}
+	var fns []*types.Func
+
+	for _, f := range lo.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := lo.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fn)
+			direct[fn] = map[*types.Var]bool{}
+			calls[fn] = map[*types.Func]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if v, method := lo.lockVarOf(call); v != nil && isAcquireMethod(method) {
+					direct[fn][v] = true
+					return true
+				}
+				callee := calleeFunc(lo.pass.TypesInfo, call)
+				if callee != nil && callee.Pkg() == lo.pass.Pkg {
+					calls[fn][callee] = true
+				}
+				return true
+			})
+		}
+	}
+
+	lo.summary = map[*types.Func]map[*types.Var]bool{}
+	for _, fn := range fns {
+		s := map[*types.Var]bool{}
+		for v := range direct[fn] {
+			s[v] = true
+		}
+		lo.summary[fn] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			s := lo.summary[fn]
+			for callee := range calls[fn] {
+				for v := range lo.summary[callee] {
+					if !s[v] {
+						s[v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func isAcquireMethod(m string) bool { return m == "Lock" || m == "RLock" }
+func isReleaseMethod(m string) bool { return m == "Unlock" || m == "RUnlock" }
+
+type heldSet map[*types.Var]bool
+
+func cloneHeld(h heldSet) heldSet {
+	out := make(heldSet, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+func mergeHeld(a, b heldSet) heldSet {
+	out := cloneHeld(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func equalHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFunc runs the held-set dataflow over one function body and reports
+// rank inversions.
+func (lo *lockOrderer) checkFunc(fd *ast.FuncDecl) {
+	g := buildCFG(fd.Body, lo.pass.TypesInfo)
+	if g.unanalyzable {
+		return
+	}
+	in := dataflow(g, heldSet{},
+		func(blk *cfgBlock, st heldSet) heldSet {
+			out := cloneHeld(st)
+			lo.processBlock(blk, out, false)
+			return out
+		},
+		mergeHeld, equalHeld)
+	for _, blk := range g.blocks {
+		st, ok := in[blk]
+		if !ok || blk == g.exit {
+			continue
+		}
+		lo.processBlock(blk, cloneHeld(st), true)
+	}
+}
+
+func (lo *lockOrderer) processBlock(blk *cfgBlock, held heldSet, report bool) {
+	for _, n := range blk.nodes {
+		inspectWithStack(n, func(node ast.Node, stack []ast.Node) bool {
+			if _, isLit := node.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			lo.processCall(call, stack, held, report)
+			return true
+		})
+	}
+}
+
+func (lo *lockOrderer) processCall(call *ast.CallExpr, stack []ast.Node, held heldSet, report bool) {
+	deferred := underDefer(stack)
+	if v, method := lo.lockVarOf(call); v != nil {
+		switch {
+		case isAcquireMethod(method) && !deferred:
+			if report {
+				lo.checkAcquire(call.Pos(), v, held)
+			}
+			held[v] = true
+		case isReleaseMethod(method) && !deferred:
+			delete(held, v)
+		case isReleaseMethod(method) && deferred:
+			// defer mu.Unlock(): the lock stays held for the rest of the
+			// function — exactly what the held set already says.
+		}
+		return
+	}
+	if deferred {
+		return
+	}
+	callee := calleeFunc(lo.pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() != lo.pass.Pkg {
+		return
+	}
+	summ := lo.summary[callee]
+	if len(summ) == 0 || len(held) == 0 || !report {
+		return
+	}
+	for acq := range summ {
+		for h := range held {
+			if lo.ranks[acq] <= lo.ranks[h] {
+				key := "call:" + posKey(lo.pass, call.Pos()) + ":" + acq.Name()
+				if lo.reported[key] {
+					continue
+				}
+				lo.reported[key] = true
+				lo.pass.Reportf(call.Pos(),
+					"call to %s while holding %s (lockrank %d): it may acquire %s (lockrank %d), inverting the lock hierarchy",
+					callee.Name(), h.Name(), lo.ranks[h], acq.Name(), lo.ranks[acq])
+			}
+		}
+	}
+}
+
+func (lo *lockOrderer) checkAcquire(pos token.Pos, v *types.Var, held heldSet) {
+	rv := lo.ranks[v]
+	// Report against the highest-ranked held lock for a deterministic
+	// message when several are held.
+	var worst *types.Var
+	for h := range held {
+		if h == v {
+			worst = h
+			break
+		}
+		if lo.ranks[h] >= rv && (worst == nil || lo.ranks[h] > lo.ranks[worst] ||
+			(lo.ranks[h] == lo.ranks[worst] && h.Name() < worst.Name())) {
+			worst = h
+		}
+	}
+	if worst == nil {
+		return
+	}
+	key := "acq:" + posKey(lo.pass, pos)
+	if lo.reported[key] {
+		return
+	}
+	lo.reported[key] = true
+	if worst == v {
+		lo.pass.Reportf(pos, "%s (lockrank %d) acquired while already held: self-deadlock", v.Name(), rv)
+		return
+	}
+	lo.pass.Reportf(pos,
+		"%s (lockrank %d) acquired while holding %s (lockrank %d): lock ranks must strictly increase",
+		v.Name(), rv, worst.Name(), lo.ranks[worst])
+}
+
+// sortedRankNames is used by tests and docs tooling to render the rank
+// table deterministically.
+func (lo *lockOrderer) sortedRankNames() []string {
+	var names []string
+	for v, r := range lo.ranks {
+		names = append(names, fmt.Sprintf("%s=%d", v.Name(), r))
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,11 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfprotect/internal/analysis"
+)
+
+func TestLockOrderFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/lockorder", analysis.LockOrder)
+}

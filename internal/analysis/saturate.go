@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Saturate closes PR 8's fuzz-found overshoot class structurally: in a
+// package that defines a `finiteOrHuge` saturation helper (internal/detect
+// is the one that matters), every exported function or method returning a
+// float64 must route that result through finiteOrHuge — directly, through
+// another exported (hence itself checked) same-package helper, or by
+// returning a compile-time constant. Packages without a finiteOrHuge
+// function have not opted into the contract and are skipped.
+var Saturate = &Analyzer{
+	Name: "saturate",
+	Doc: "exported float64 results in packages with a finiteOrHuge helper " +
+		"must be saturated through it",
+	Run: runSaturate,
+}
+
+const saturateHelper = "finiteOrHuge"
+
+func runSaturate(pass *Pass) error {
+	if pass.IsMain() || !declaresSaturateHelper(pass.Files) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			checkSaturatedReturns(pass, fd, funcSig(fn))
+		}
+	}
+	return nil
+}
+
+func declaresSaturateHelper(files []*ast.File) bool {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == saturateHelper {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isFloat64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func checkSaturatedReturns(pass *Pass, fd *ast.FuncDecl, sig *types.Signature) {
+	res := sig.Results()
+	var floatIdx []int
+	for i := 0; i < res.Len(); i++ {
+		if isFloat64(res.At(i).Type()) {
+			floatIdx = append(floatIdx, i)
+		}
+	}
+	if len(floatIdx) == 0 {
+		return
+	}
+	// Walk only this function's own returns: nested literals have their
+	// own signatures and are not part of the exported surface.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			pass.Reportf(ret.Pos(),
+				"bare return hides the float64 result of exported %s: return %s(...) explicitly",
+				fd.Name.Name, saturateHelper)
+			return true
+		}
+		if len(ret.Results) != res.Len() {
+			// `return f()` forwarding a multi-value call: saturated only
+			// if f is itself an exported same-package function (checked
+			// on its own) or the helper.
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok && saturatedCall(pass, call) {
+				return true
+			}
+			pass.Reportf(ret.Results[0].Pos(),
+				"float64 result of exported %s is not routed through %s",
+				fd.Name.Name, saturateHelper)
+			return true
+		}
+		for _, i := range floatIdx {
+			expr := ast.Unparen(ret.Results[i])
+			if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+				continue // compile-time constant: finite by construction
+			}
+			if call, ok := expr.(*ast.CallExpr); ok && saturatedCall(pass, call) {
+				continue
+			}
+			pass.Reportf(expr.Pos(),
+				"float64 result of exported %s is not routed through %s",
+				fd.Name.Name, saturateHelper)
+		}
+		return true
+	})
+}
+
+// saturatedCall reports whether the call's value is already saturated: a
+// direct finiteOrHuge call, or a call to an exported function of the same
+// package — which this analyzer checks on its own, so its result is
+// transitively saturated.
+func saturatedCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() != pass.Pkg {
+		return false
+	}
+	return fn.Name() == saturateHelper || fn.Exported()
+}

@@ -1,0 +1,11 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfprotect/internal/analysis"
+)
+
+func TestSaturateFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/saturate", analysis.Saturate)
+}

@@ -1,0 +1,5 @@
+package constraints
+
+// hostArch redeclares across every arch variant: loading two at once is a
+// type error.
+const hostArch = "amd64"

@@ -1,0 +1,3 @@
+package constraints
+
+const hostArch = "arm64"

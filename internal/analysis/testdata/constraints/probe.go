@@ -1,0 +1,11 @@
+// Package constraints is the fixture for the loader's go/build.MatchFile
+// filtering: per-arch filename suffixes and //go:build lines must select
+// exactly the host-matching variant. If the loader ever loads two arch
+// variants (or the tag-gated file) together, the duplicate declarations
+// below fail the type check — the test cannot pass by accident.
+package constraints
+
+const probe = 0
+
+var _ = probe
+var _ = hostArch

@@ -1,0 +1,7 @@
+//go:build rfvetconstraintprobe
+
+package constraints
+
+// probe collides with probe.go: this file may only load under a build tag
+// nothing sets, so reaching the type checker at all is a loader bug.
+const probe = 1

@@ -1,0 +1,104 @@
+// Package lockorder is the golden fixture for the lockorder analyzer: a
+// three-level //rfvet:lockrank hierarchy with positive cases for a direct
+// rank inversion, a self-deadlock, and an inversion reached through a
+// same-package call, and negative cases for ordered nesting, sequential
+// (release-then-acquire) use, deferred unlocks, and an annotated
+// deliberate inversion.
+package lockorder
+
+import "sync"
+
+// server mirrors the service shard/room/tracker hierarchy.
+type server struct {
+	// shard-level state.
+	//
+	//rfvet:lockrank 10
+	mu sync.Mutex
+
+	// room-level state.
+	//
+	//rfvet:lockrank 20
+	roomMu sync.RWMutex
+
+	// tracker leaf: nothing is acquired under it.
+	//
+	//rfvet:lockrank 30
+	trkMu sync.Mutex
+}
+
+// Ordered nests in strictly increasing rank: legal.
+func (s *server) Ordered() {
+	s.mu.Lock()
+	s.roomMu.RLock()
+	s.trkMu.Lock()
+	s.trkMu.Unlock()
+	s.roomMu.RUnlock()
+	s.mu.Unlock()
+}
+
+// Inverted takes the shard lock under the tracker leaf.
+func (s *server) Inverted() {
+	s.trkMu.Lock()
+	s.mu.Lock() // want `lock ranks must strictly increase`
+	s.mu.Unlock()
+	s.trkMu.Unlock()
+}
+
+// SelfLock re-acquires a lock it already holds.
+func (s *server) SelfLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// lockShard acquires the shard mutex; callers holding higher ranks must
+// not call it.
+func (s *server) lockShard() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// CallWhileHeld reaches the inversion through the call graph.
+func (s *server) CallWhileHeld() {
+	s.trkMu.Lock()
+	s.lockShard() // want `inverting the lock hierarchy`
+	s.trkMu.Unlock()
+}
+
+// Sequential releases before acquiring the lower rank: legal.
+func (s *server) Sequential() {
+	s.trkMu.Lock()
+	s.trkMu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// DeferUnlock holds the shard lock for the whole body; climbing to the
+// leaf under it is the documented direction.
+func (s *server) DeferUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trkMu.Lock()
+	s.trkMu.Unlock()
+}
+
+// Branches releases on both paths before the lower-rank acquire.
+func (s *server) Branches(cond bool) {
+	s.roomMu.Lock()
+	if cond {
+		s.roomMu.Unlock()
+	} else {
+		s.roomMu.Unlock()
+	}
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Allowed documents a deliberate inversion with the escape hatch.
+func (s *server) Allowed() {
+	s.roomMu.Lock()
+	s.mu.Lock() //rfvet:allow lockorder -- fixture: deliberate inversion
+	s.mu.Unlock()
+	s.roomMu.Unlock()
+}

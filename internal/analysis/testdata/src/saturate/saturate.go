@@ -1,0 +1,71 @@
+// Package saturate is the golden fixture for the saturate analyzer: it
+// defines the finiteOrHuge helper (opting the package into the contract),
+// with positive cases for a raw float64 return and a bare named-result
+// return, and negative cases for saturated, constant, helper-chained,
+// unexported, and annotated functions.
+package saturate
+
+import "math"
+
+// finiteOrHuge clamps non-finite scores to +/-MaxFloat64 (fixture copy of
+// internal/detect's helper).
+func finiteOrHuge(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(v, -1) {
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// Raw returns an unsaturated product: a*b overflows to +Inf for large
+// inputs.
+func Raw(a, b float64) float64 {
+	return a * b // want `not routed through finiteOrHuge`
+}
+
+// Bare hides the float64 result behind a named return.
+func Bare(a float64) (score float64) {
+	score = a * 2
+	return // want `bare return`
+}
+
+// Saturated is the blessed form.
+func Saturated(a, b float64) float64 {
+	return finiteOrHuge(a * b)
+}
+
+// Constant results are finite by construction.
+func Constant() float64 {
+	return 1.5
+}
+
+// Chained trusts another exported same-package function, which this
+// analyzer checks on its own.
+func Chained(a float64) float64 {
+	return Saturated(a, a)
+}
+
+// Pair mixes a saturated float64 with a non-float result.
+func Pair(a float64) (float64, error) {
+	return finiteOrHuge(a), nil
+}
+
+// helper is unexported and out of the exported-surface contract.
+func helper(a float64) float64 {
+	return a * 3
+}
+
+// NonFloat results are out of scope.
+func NonFloat(n int) int {
+	return n * 2
+}
+
+// Allowed documents a deliberately raw return.
+func Allowed(a float64) float64 {
+	return helper(a) //rfvet:allow saturate -- fixture: deliberately raw
+}

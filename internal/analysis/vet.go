@@ -15,6 +15,11 @@ import (
 // a single package. Loaders are shared per module, so a whole-repo run
 // type-checks each package (and the stdlib) once.
 func Vet(dir string, analyzers []*Analyzer, patterns []string) ([]Diagnostic, error) {
+	return VetWith(Options{}, dir, analyzers, patterns)
+}
+
+// VetWith is Vet with explicit options.
+func VetWith(opts Options, dir string, analyzers []*Analyzer, patterns []string) ([]Diagnostic, error) {
 	loaders := map[string]*Loader{}
 	loaderFor := func(base string) (*Loader, error) {
 		l, err := NewLoader(base)
@@ -72,13 +77,18 @@ func Vet(dir string, analyzers []*Analyzer, patterns []string) ([]Diagnostic, er
 		if err != nil {
 			return nil, err
 		}
+		matched := 0
 		for _, p := range all {
 			if p.Dir == absBase || strings.HasPrefix(p.Dir, absBase+string(filepath.Separator)) {
 				add(p)
+				matched++
 			}
+		}
+		if matched == 0 {
+			return nil, fmt.Errorf("pattern %q: no packages under %s", pattern, absBase)
 		}
 	}
 
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
-	return Run(analyzers, pkgs)
+	return RunWith(opts, analyzers, pkgs)
 }

@@ -132,6 +132,8 @@ func SynthesizeCtx(ctx context.Context, p Params, returns []Return, at float64, 
 // the same (rng state, Params, Time, returns) regardless of pooling or
 // worker count. On cancellation dst holds partial data and must be
 // discarded (or Reset) by the caller.
+//
+//rfvet:allocfree
 func SynthesizeInto(ctx context.Context, dst *Frame, returns []Return, rng *rand.Rand, workers int) error {
 	p := dst.Params
 	noisy := rng != nil && p.NoiseStd > 0
@@ -139,15 +141,69 @@ func SynthesizeInto(ctx context.Context, dst *Frame, returns []Return, rng *rand
 	if noisy {
 		base = rng.Int63()
 	}
-	return parallel.ForEachCtx(ctx, p.NumAntennas, workers, func(k int) {
-		dst.addReturnsAntenna(k, returns)
-		if noisy {
-			r := noiseRngs.Get().(*rand.Rand)
-			r.Seed(parallel.SplitSeed(base, k))
-			dst.addNoiseRow(k, r)
-			noiseRngs.Put(r)
-		}
-	})
+	j := getSynthJob()
+	j.dst, j.returns, j.noisy, j.base = dst, returns, noisy, base
+	err := parallel.ForEachCtx(ctx, p.NumAntennas, workers, j.fn)
+	putSynthJob(j)
+	return err
+}
+
+// synthJob carries one SynthesizeInto fan-out's state to the workers
+// through fn, a method value bound once when the job is first built and
+// recycled with it, so steady-state synthesis creates no closure: an
+// inline func literal capturing (dst, returns, noisy, base) would escape
+// to the heap on every call.
+type synthJob struct {
+	dst     *Frame
+	returns []Return
+	noisy   bool
+	base    int64
+	fn      func(int)
+}
+
+// antenna synthesizes antenna k's row; it is the per-index unit handed to
+// parallel.ForEachCtx and touches only row k plus its own pooled rng.
+func (j *synthJob) antenna(k int) {
+	j.dst.addReturnsAntenna(k, j.returns)
+	if j.noisy {
+		r := noiseRngs.Get().(*rand.Rand)
+		r.Seed(parallel.SplitSeed(j.base, k))
+		j.dst.addNoiseRow(k, r)
+		noiseRngs.Put(r)
+	}
+}
+
+// synthJobs is the job free list. A mutex-guarded slice (the repo's free
+// list idiom) rather than sync.Pool so a parked job — and the one-time
+// closure bound to it — survives GC cycles between frames.
+var synthJobs struct {
+	mu   sync.Mutex
+	free []*synthJob
+}
+
+func getSynthJob() *synthJob {
+	synthJobs.mu.Lock()
+	var j *synthJob
+	if n := len(synthJobs.free); n > 0 {
+		j = synthJobs.free[n-1]
+		synthJobs.free[n-1] = nil
+		synthJobs.free = synthJobs.free[:n-1]
+	}
+	synthJobs.mu.Unlock()
+	if j == nil {
+		j = new(synthJob)
+		j.fn = j.antenna
+	}
+	return j
+}
+
+// putSynthJob parks a job, dropping its frame and returns references so a
+// parked job pins nothing.
+func putSynthJob(j *synthJob) {
+	j.dst, j.returns = nil, nil
+	synthJobs.mu.Lock()
+	synthJobs.free = append(synthJobs.free, j)
+	synthJobs.mu.Unlock()
 }
 
 // noiseRngs pools the per-antenna noise generators so steady-state
@@ -303,6 +359,8 @@ func (f *Frame) Sub(g *Frame) *Frame {
 // and Time — the destination-passing form of Sub for callers recycling
 // difference frames through a FramePool. It panics if the frames have
 // different shapes. dst may alias f or g.
+//
+//rfvet:allocfree
 func (f *Frame) SubInto(dst, g *Frame) {
 	if len(f.Data) != len(g.Data) || len(f.Data) != len(dst.Data) {
 		panic("fmcw: SubInto with mismatched antenna counts")

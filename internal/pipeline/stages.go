@@ -29,6 +29,7 @@ func NewBackgroundSubtractPooled(pool *fmcw.FramePool) *BackgroundSubtractStage 
 
 func (s *BackgroundSubtractStage) Name() string { return "background-subtract" }
 
+//rfvet:allocfree
 func (s *BackgroundSubtractStage) Process(ctx context.Context, it *Item) error {
 	if d, ok := s.diff.Step(it.Frame); ok {
 		it.Diff = d
@@ -57,6 +58,7 @@ func NewRangeAnglePooled(pr *radar.Processor, pool *radar.ProfilePool) *RangeAng
 
 func (s *RangeAngleStage) Name() string { return "range-angle" }
 
+//rfvet:allocfree
 func (s *RangeAngleStage) Process(ctx context.Context, it *Item) error {
 	if it.Diff == nil {
 		return nil
@@ -108,6 +110,7 @@ func NewPeakExtractPooled(pl *radar.FrontEndPlan, array fmcw.Array) *PeakExtract
 
 func (s *PeakExtractStage) Name() string { return "peak-extract" }
 
+//rfvet:allocfree
 func (s *PeakExtractStage) Process(ctx context.Context, it *Item) error {
 	if it.Profile == nil {
 		return nil

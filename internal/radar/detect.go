@@ -35,6 +35,8 @@ func (pr *Processor) Detect(prof *Profile, array fmcw.Array) []Detection {
 // list, so a warmed-up call allocates nothing beyond growing dst the first
 // time. The profile must describe the plan's compiled shape (any profile
 // produced by the plan's RangeAngleInto does).
+//
+//rfvet:allocfree
 func (pl *FrontEndPlan) DetectInto(dst []Detection, prof *Profile, array fmcw.Array) []Detection {
 	dst = dst[:0]
 	if prof.RangeBins == 0 {
@@ -61,10 +63,7 @@ func (pl *FrontEndPlan) DetectInto(dst []Detection, prof *Profile, array fmcw.Ar
 	if len(peaks) > pl.cfg.MaxTargets {
 		peaks = peaks[:pl.cfg.MaxTargets]
 	}
-	if cap(e.col) < prof.RangeBins {
-		e.col = make([]float64, prof.RangeBins)
-	}
-	col := e.col[:prof.RangeBins]
+	col := e.rangeCol(prof.RangeBins)
 	for _, pk := range peaks {
 		// Sub-bin refinement along range (column fixed) and angle (row fixed).
 		rowSlice := prof.Power[pk.Row*prof.AngleBins : (pk.Row+1)*prof.AngleBins]
@@ -85,6 +84,22 @@ func (pl *FrontEndPlan) DetectInto(dst []Detection, prof *Profile, array fmcw.Ar
 	}
 	pl.putDet(e)
 	return dst
+}
+
+// rangeCol returns the executor's interpolation column sized to n bins,
+// growing it on first use. The growth lives here rather than inline in
+// DetectInto because it is a one-time warm-up cost: every later call with
+// the plan's compiled shape reuses the slice, and keeping the make out of
+// DetectInto's body lets its //rfvet:allocfree annotation hold. noinline
+// keeps the compiler from folding the make back into DetectInto's escape
+// diagnostics; the call costs one jump per detection pass.
+//
+//go:noinline
+func (e *detExec) rangeCol(n int) []float64 {
+	if cap(e.col) < n {
+		e.col = make([]float64, n)
+	}
+	return e.col[:n]
 }
 
 // FrontEnd is the streaming per-frame state of the eavesdropper's front

@@ -418,6 +418,8 @@ func (e *raExec) beamRowN(row []float64, r int) {
 //
 // On cancellation prof holds partially written garbage and must be
 // discarded (or simply passed to the next call, which overwrites it).
+//
+//rfvet:allocfree
 func (pl *FrontEndPlan) RangeAngleInto(ctx context.Context, f *fmcw.Frame, prof *Profile) error {
 	if prof == nil {
 		panic("radar: RangeAngleInto with nil profile")
@@ -433,11 +435,7 @@ func (pl *FrontEndPlan) RangeAngleInto(ctx context.Context, f *fmcw.Frame, prof 
 	prof.Time = f.Time
 	prof.RangeBins = pl.maxBin
 	prof.AngleBins = bins
-	if need := pl.maxBin * bins; cap(prof.Power) >= need {
-		prof.Power = prof.Power[:need]
-	} else {
-		prof.Power = make([]float64, need)
-	}
+	prof.Power = growFloats(prof.Power, pl.maxBin*bins)
 	// The beamforming sweep writes only rows [minBin, maxBin); zero the
 	// skipped near-range rows so a reused Power matches a fresh one exactly.
 	head := prof.Power[:pl.minBin*bins]
@@ -563,6 +561,8 @@ func (pl *FrontEndPlan) newRDExec(sh *rdShape) *rdExec {
 //
 // On cancellation m holds partially written garbage and must be discarded
 // (or passed to the next call, which overwrites it).
+//
+//rfvet:allocfree
 func (pl *FrontEndPlan) RangeDopplerInto(ctx context.Context, m *RangeDopplerMap, chirps []*fmcw.Frame, antenna int, pri float64) error {
 	if m == nil {
 		panic("radar: RangeDopplerInto with nil map")
@@ -586,11 +586,7 @@ func (pl *FrontEndPlan) RangeDopplerInto(ctx context.Context, m *RangeDopplerMap
 	m.PRI = pri
 	m.RangeBins = pl.maxBin
 	m.DopplerBins = nd
-	if need := pl.maxBin * nd; cap(m.Power) >= need {
-		m.Power = m.Power[:need]
-	} else {
-		m.Power = make([]float64, need)
-	}
+	m.Power = growFloats(m.Power, pl.maxBin*nd)
 	// Range FFT per chirp, then slow-time FFT + shift + power per batch of
 	// range bins; disjoint destinations per work item keep any fan-out
 	// width bit-identical.
@@ -602,6 +598,21 @@ func (pl *FrontEndPlan) RangeDopplerInto(ctx context.Context, m *RangeDopplerMap
 	e.chirps, e.m = nil, nil
 	pl.putRD(e)
 	return err
+}
+
+// growFloats returns s resized to n, reallocating only when capacity is
+// short. It is the warm-up path of the profile/map destinations, kept out
+// of the //rfvet:allocfree executors (and out of their inlined bodies, via
+// noinline) because the reallocation happens once per destination, not per
+// frame; reused capacity keeps its prior contents, which the executors
+// overwrite or zero explicitly.
+//
+//go:noinline
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // detExec is one detection execution context: the range-column interpolation

@@ -25,6 +25,7 @@ type planKey struct {
 // windows, and warmed executor free lists included — so an N-room daemon
 // compiles each shape once instead of once per room.
 type planCache struct {
+	//rfvet:lockrank 30
 	mu    sync.Mutex
 	plans map[planKey]*radar.FrontEndPlan
 }
@@ -53,6 +54,14 @@ func (c *planCache) get(cfg radar.Config, p fmcw.Params) *radar.FrontEndPlan {
 // counters, so room lookup and per-frame accounting never contend across
 // shards no matter how many rooms the daemon hosts.
 type shard struct {
+	// Lock hierarchy (DESIGN.md "Lock order", enforced by rfvet's
+	// lockorder analyzer): shard.mu (20) → Room.mu (40) → Room.qMu (50)
+	// → Room.ghostMu (60) → Room.trkMu (70, leaf). In practice the
+	// service never nests these — each is released before the next is
+	// taken — but the ranks pin the only legal nesting direction if that
+	// ever changes.
+	//
+	//rfvet:lockrank 20
 	mu    sync.Mutex
 	rooms map[string]*Room
 
@@ -78,6 +87,7 @@ type Manager struct {
 	draining atomic.Bool
 	nextID   atomic.Int64
 
+	//rfvet:lockrank 10
 	scrapeMu   sync.Mutex
 	lastScrape scrape
 }

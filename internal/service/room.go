@@ -61,7 +61,8 @@ type Room struct {
 	// every Push that returned nil has its frame in the buffer, and the
 	// closed channel hands those frames to the source before io.EOF. That
 	// is the no-dropped-in-flight-frames drain guarantee.
-	q       chan *fmcw.Frame
+	q chan *fmcw.Frame
+	//rfvet:lockrank 50
 	qMu     sync.RWMutex
 	qClosed bool
 	space   chan struct{} // capacity 1: pulsed when the source frees a slot
@@ -71,11 +72,17 @@ type Room struct {
 
 	// trkMu guards the tracker: the emit stage mutates it on the runner
 	// goroutine while status/track handlers read it from HTTP goroutines.
+	// It is the leaf of the lock hierarchy — nothing is acquired under it.
+	//
+	//rfvet:lockrank 70
 	trkMu sync.Mutex
 
 	// ghostMu serializes the controller's disclosure log across handlers.
+	//
+	//rfvet:lockrank 60
 	ghostMu sync.Mutex
 
+	//rfvet:lockrank 40
 	mu       sync.Mutex
 	state    string
 	runErr   error
