@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // This file is the -baseline regression gate. Rows are matched by position
@@ -25,6 +26,18 @@ import (
 //     states whose allocation count is deterministic, so even one new
 //     allocation per op is a real regression no matter how fast the
 //     machine is.
+
+// speedupFloors gates deliberate algorithmic wins: the named Speedups
+// entries of the RUN (not the baseline) must stay at or above their floor.
+// Both sides of each ratio are measured in the same run on the same
+// machine, so unlike the ns/op gate no cross-machine tolerance is needed —
+// a floor violation means the optimization itself regressed. synth_plan is
+// the compiled-synthesis contract: the planned kernel (rotation tables +
+// scaled complex MAC, see fmcw.SynthPlan) must stay >= 2x the retained
+// legacy kernel on the identical workload.
+var speedupFloors = map[string]float64{
+	"synth_plan": 2.0,
+}
 
 // baselineStreamLens extracts the capture lengths the baseline's streaming
 // section was measured at, in first-appearance order, so a gating run can
@@ -88,6 +101,22 @@ func compareSnapshots(base, run *Snapshot, maxNsRatio float64) []string {
 		if b.NsPerFrame > 0 && r.NsPerFrame > b.NsPerFrame*maxNsRatio {
 			fails = append(fails, fmt.Sprintf("%s (%d frames): %.0f ns/frame exceeds baseline %.0f × %.1f",
 				r.Name, r.Frames, r.NsPerFrame, b.NsPerFrame, maxNsRatio))
+		}
+	}
+	floors := make([]string, 0, len(speedupFloors))
+	for name := range speedupFloors {
+		floors = append(floors, name)
+	}
+	sort.Strings(floors)
+	for _, name := range floors {
+		floor := speedupFloors[name]
+		got, ok := run.Speedups[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("speedup %q missing from the run — the harness no longer measures a gated ratio", name))
+			continue
+		}
+		if got < floor {
+			fails = append(fails, fmt.Sprintf("speedup %s: %.2fx is below the %.1fx floor", name, got, floor))
 		}
 	}
 	return fails

@@ -5,9 +5,15 @@ import (
 	"testing"
 )
 
-// snap builds a minimal schema-2 snapshot for exercising the gate.
+// snap builds a minimal schema-2 snapshot for exercising the gate. Every
+// gated speedup is present at its floor so the floor check stays quiet in
+// tests that exercise the other gates.
 func snap(results []Result, streams []StreamResult) *Snapshot {
-	return &Snapshot{Schema: snapshotSchema, Results: results, Streaming: streams}
+	speedups := make(map[string]float64, len(speedupFloors))
+	for name, floor := range speedupFloors {
+		speedups[name] = floor
+	}
+	return &Snapshot{Schema: snapshotSchema, Results: results, Streaming: streams, Speedups: speedups}
 }
 
 func TestCompareSnapshotsPassesWithinTolerance(t *testing.T) {
@@ -97,6 +103,28 @@ func TestCompareSnapshotsRowMismatch(t *testing.T) {
 	fails = compareSnapshots(base, run, 4)
 	if len(fails) != 1 || !strings.Contains(fails[0], "result rows") {
 		t.Fatalf("want one row-count failure, got %v", fails)
+	}
+}
+
+func TestCompareSnapshotsSpeedupFloor(t *testing.T) {
+	base := snap(nil, nil)
+	run := snap(nil, nil)
+	// At the floor exactly: passes.
+	if fails := compareSnapshots(base, run, 4); len(fails) != 0 {
+		t.Fatalf("at-floor speedups should pass, got %v", fails)
+	}
+	// Below the floor: one failure naming the ratio. The RUN side is
+	// gated — the baseline's recorded speedup is irrelevant.
+	run.Speedups["synth_plan"] = 1.7
+	fails := compareSnapshots(base, run, 4)
+	if len(fails) != 1 || !strings.Contains(fails[0], "below the") {
+		t.Fatalf("want one below-floor failure, got %v", fails)
+	}
+	// Missing entirely: the harness stopped measuring a gated ratio.
+	delete(run.Speedups, "synth_plan")
+	fails = compareSnapshots(base, run, 4)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("want one missing-speedup failure, got %v", fails)
 	}
 }
 

@@ -109,31 +109,53 @@ type sample struct {
 	bytes  float64
 }
 
-// measure runs fn repeatedly for at least minDur (after one warm-up call)
-// and returns the mean ns/op plus the heap-allocation deltas per op, read
-// from runtime.MemStats around the timed loop. The warm-up call runs before
-// the first MemStats read, so one-time plan/scratch building never pollutes
-// the steady-state allocation count.
+// measureSamples is the min-of-K sub-sampling width: measure splits its
+// window into this many independently timed sub-windows and reports the
+// fastest one's mean ns/op. A single mean absorbs whatever the OS did
+// during the window (5–10 % run-to-run jitter on the duplicate
+// frame_synthesis/batch_fft rows), which eats gate headroom; the minimum of
+// K means is a far more stable estimate of the code's actual cost, since
+// interference only ever makes a sub-window slower.
+const measureSamples = 3
+
+// measure runs fn repeatedly for at least minDur (after one warm-up call),
+// split into measureSamples sub-windows, and returns the min-of-K mean
+// ns/op plus the heap-allocation deltas per op, read from runtime.MemStats
+// around the whole timed span. The warm-up call runs before the first
+// MemStats read, so one-time plan/scratch building never pollutes the
+// steady-state allocation count; allocations are averaged over every
+// iteration of every sub-window (allocation counts are deterministic, so
+// they need no min).
 func measure(minDur time.Duration, fn func()) sample {
 	fn() // warm caches, FFT plans, and kernel scratch
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	var iters int
-	var elapsed time.Duration
-	start := time.Now()
-	for {
-		fn()
-		iters++
-		if elapsed = time.Since(start); elapsed >= minDur && iters >= 3 {
-			break
+	winDur := minDur / measureSamples
+	best := 0.0
+	totalIters := 0
+	for s := 0; s < measureSamples; s++ {
+		var iters int
+		var elapsed time.Duration
+		start := time.Now()
+		for {
+			fn()
+			iters++
+			if elapsed = time.Since(start); elapsed >= winDur && iters >= 3 {
+				break
+			}
 		}
+		ns := float64(elapsed.Nanoseconds()) / float64(iters)
+		if s == 0 || ns < best {
+			best = ns
+		}
+		totalIters += iters
 	}
 	runtime.ReadMemStats(&m1)
 	return sample{
-		ns:     float64(elapsed.Nanoseconds()) / float64(iters),
-		iters:  iters,
-		allocs: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
-		bytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+		ns:     best,
+		iters:  totalIters,
+		allocs: float64(m1.Mallocs-m0.Mallocs) / float64(totalIters),
+		bytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(totalIters),
 	}
 }
 
@@ -252,6 +274,30 @@ func runSnapshot(minDur time.Duration, seed int64, streamLens []int, quick bool)
 		pool.Put(f)
 	})
 	add("frame_synthesis_into_pooled", 1, into, true)
+
+	// The synthesis-plan gate pair: the retained legacy kernel (serial
+	// per-(return × antenna) phasor recurrence) against the compiled plan
+	// (per-return rotation tables + scaled complex MAC) on the identical
+	// workload. Both rows are measured in this run, so the synth_plan
+	// speedup is machine-independent; compare.go enforces its floor.
+	legacy := measure(minDur, func() {
+		f := pool.Get(0)
+		if err := fmcw.SynthesizeLegacyInto(nil, f, returns, rng, 1); err != nil {
+			fatal("synthesize-legacy", err)
+		}
+		pool.Put(f)
+	})
+	add("frame_synthesis_legacy", 1, legacy, true)
+	splan := fmcw.PlanSynth(params)
+	planned := measure(minDur, func() {
+		f := pool.Get(0)
+		if err := splan.SynthesizeInto(nil, f, returns, rng, 1); err != nil {
+			fatal("synthesize-planned", err)
+		}
+		pool.Put(f)
+	})
+	add("frame_synthesis_planned", 1, planned, true)
+	snap.Speedups["synth_plan"] = legacy.ns / planned.ns
 
 	// Single 512-point range FFT, cached plan (steady state of the radar
 	// pipeline): in place over a copy, and through the FFTTo destination-
@@ -424,9 +470,12 @@ func runSnapshot(minDur time.Duration, seed int64, streamLens []int, quick bool)
 
 	// Sliding-window Doppler: steady-state per-frame cost of the K-frame
 	// ring-buffer range–Doppler recompute (slow-time FFT over 8 frames of
-	// 512-sample chirps, every range bin).
+	// 512-sample chirps, every range bin), through the pooled stage — map
+	// from a DopplerPool, recycled per frame — so the row is a
+	// single-worker pooled steady state and its allocation count gates
+	// exactly like the other Into rows.
 	dop := measure(minDur, dopplerStageRun(seed))
-	add("doppler_stage_win8_per_frame", 1, dop, false)
+	add("doppler_stage_win8_per_frame", 1, dop, true)
 
 	// End-to-end experiment: Fig. 9 radar localization (no GAN training),
 	// covering synthesis, range-angle profiles, peaks, and tracking.
@@ -584,26 +633,36 @@ func captureRun(seed int64, nFrames int, mode int) streamSample {
 
 // dopplerStageRun returns a closure measuring the steady-state per-frame
 // cost of the sliding-window DopplerStage: the window is pre-filled, so each
-// call is one push plus one full range–Doppler recompute.
+// call is one push plus one full range–Doppler recompute. The stage runs in
+// its pooled form with a reused Item, mirroring how the streaming pipeline
+// drives it (the pipeline recycles the map when the item completes; here
+// the closure recycles it directly), so a warmed iteration allocates
+// exactly nothing.
 func dopplerStageRun(seed int64) func() {
 	params := fmcw.DefaultParams()
 	rng := rand.New(rand.NewSource(seed))
 	returns := synthReturns(4, seed)
 	frame := fmcw.SynthesizeWorkers(params, returns, 0, rng, 1)
-	dop := pipeline.NewDoppler(radar.NewProcessor(radar.DefaultConfig()), 8, 0)
+	cfg := radar.DefaultConfig()
+	cfg.Workers = 1
+	dpool := radar.NewDopplerPool()
+	dop := pipeline.NewDopplerPooled(radar.NewProcessor(cfg), 8, 0, dpool)
 	ctx := context.Background()
-	for i := 0; i < 8; i++ {
-		if err := dop.Process(ctx, &pipeline.Item{Index: i, Frame: frame}); err != nil {
+	it := &pipeline.Item{Frame: frame}
+	i := 0
+	step := func() {
+		it.Index = i
+		it.RangeDoppler = nil
+		if err := dop.Process(ctx, it); err != nil {
 			fatal("doppler", err)
 		}
-	}
-	i := 8
-	return func() {
-		if err := dop.Process(ctx, &pipeline.Item{Index: 8 + i, Frame: frame}); err != nil {
-			fatal("doppler", err)
-		}
+		dpool.Put(it.RangeDoppler)
 		i++
 	}
+	for i < 8 {
+		step()
+	}
+	return step
 }
 
 // synthReturns mirrors the mixed workload the fmcw benchmarks use.

@@ -133,8 +133,23 @@ func SynthesizeCtx(ctx context.Context, p Params, returns []Return, at float64, 
 // worker count. On cancellation dst holds partial data and must be
 // discarded (or Reset) by the caller.
 //
+// Synthesis runs through the shared compiled SynthPlan for dst's shape
+// (PlanSynth) — the planned kernel is the defining semantics; see
+// SynthesizeLegacyInto for the retained pre-plan reference.
+//
 //rfvet:allocfree
 func SynthesizeInto(ctx context.Context, dst *Frame, returns []Return, rng *rand.Rand, workers int) error {
+	return PlanSynth(dst.Params).SynthesizeInto(ctx, dst, returns, rng, workers)
+}
+
+// SynthesizeLegacyInto is the pre-plan synthesis kernel: the serial
+// per-(return × antenna) phasor recurrence, retained as the ULP reference
+// for the planned path (tests pin the planned samples to it within a
+// relative tolerance) and as the baseline for the synth_plan speedup gate
+// in cmd/bench. Same contract as SynthesizeInto — same noise draws, same
+// worker-count bit-identity — but the sample bits differ from the planned
+// kernel's at the ULP level. New callers want SynthesizeInto.
+func SynthesizeLegacyInto(ctx context.Context, dst *Frame, returns []Return, rng *rand.Rand, workers int) error {
 	p := dst.Params
 	noisy := rng != nil && p.NoiseStd > 0
 	var base int64
@@ -148,7 +163,7 @@ func SynthesizeInto(ctx context.Context, dst *Frame, returns []Return, rng *rand
 	return err
 }
 
-// synthJob carries one SynthesizeInto fan-out's state to the workers
+// synthJob carries one SynthesizeLegacyInto fan-out's state to the workers
 // through fn, a method value bound once when the job is first built and
 // recycled with it, so steady-state synthesis creates no closure: an
 // inline func literal capturing (dst, returns, noisy, base) would escape
@@ -166,10 +181,10 @@ type synthJob struct {
 func (j *synthJob) antenna(k int) {
 	j.dst.addReturnsAntenna(k, j.returns)
 	if j.noisy {
-		r := noiseRngs.Get().(*rand.Rand)
+		r := getNoiseRng()
 		r.Seed(parallel.SplitSeed(j.base, k))
 		j.dst.addNoiseRow(k, r)
-		noiseRngs.Put(r)
+		putNoiseRng(r)
 	}
 }
 
@@ -211,7 +226,34 @@ func putSynthJob(j *synthJob) {
 // antenna per frame. Reseeding a pooled source with Seed(s) reproduces
 // exactly the state rand.New(rand.NewSource(s)) would have, so the noise
 // bits are unchanged; the stream still depends only on (base, antenna).
-var noiseRngs = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+// A mutex-guarded free list rather than sync.Pool: pooled sources survive
+// GC cycles between frames, and race-detector builds (where sync.Pool
+// deliberately drops items) keep the exact-zero allocation contract.
+var noiseRngs struct {
+	mu   sync.Mutex
+	free []*rand.Rand
+}
+
+func getNoiseRng() *rand.Rand {
+	noiseRngs.mu.Lock()
+	var r *rand.Rand
+	if n := len(noiseRngs.free); n > 0 {
+		r = noiseRngs.free[n-1]
+		noiseRngs.free[n-1] = nil
+		noiseRngs.free = noiseRngs.free[:n-1]
+	}
+	noiseRngs.mu.Unlock()
+	if r == nil {
+		r = rand.New(rand.NewSource(0))
+	}
+	return r
+}
+
+func putNoiseRng(r *rand.Rand) {
+	noiseRngs.mu.Lock()
+	noiseRngs.free = append(noiseRngs.free, r)
+	noiseRngs.mu.Unlock()
+}
 
 // AddReturns accumulates the beat contributions of the given returns into
 // the frame, one antenna at a time.

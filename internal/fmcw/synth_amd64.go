@@ -1,0 +1,33 @@
+//go:build amd64
+
+package fmcw
+
+// useSynthAVX gates the vectorized synthesis kernels (rotation-table build
+// and scaled complex MAC). It is set once at init from CPUID (AVX plus OS
+// ymm-state support) and read without synchronization afterwards; tests
+// toggle it to compare the vector and scalar paths bit for bit.
+var useSynthAVX = synthCPUHasAVX()
+
+// synthCPUHasAVX reports whether the CPU executes AVX instructions and the
+// OS preserves ymm state across context switches.
+func synthCPUHasAVX() bool
+
+// synthTabAVX continues the 4-stride phasor recurrence tab[i] = tab[i-4]·s4
+// for i in [4, n), four complexes per iteration across two ymm chains, with
+// s4 = (s4r, s4i) = stepC⁴. tab[0..3] must be pre-seeded and n must be a
+// multiple of four with n >= 4; the caller handles the n%4 tail (reading
+// the stored values, which equal the register chain bit for bit). Pure
+// AVX1, no FMA — each lane runs exactly the scalar formula
+// (s4r·tr − s4i·ti, s4r·ti + s4i·tr). Implemented in synth_amd64.s.
+//
+//go:noescape
+func synthTabAVX(tab *complex128, n int, s4r, s4i float64)
+
+// synthMacAVX performs row[i] += (cr, ci)·tab[i] for i in [0, n), four
+// complexes per iteration; n must be a multiple of four. Each lane runs
+// exactly the scalar formula (cr·tr − ci·ti, cr·ti + ci·tr) followed by a
+// lanewise add, so the result is bit-identical to macRow's scalar loop.
+// Implemented in synth_amd64.s.
+//
+//go:noescape
+func synthMacAVX(row, tab *complex128, n int, cr, ci float64)

@@ -1,0 +1,114 @@
+// AVX synthesis kernels. See synth_amd64.go for the contracts and
+// synthplan.go (buildPhasorTab, macRow) for the bit-identity argument.
+// Pure AVX1: VBROADCASTSD, VMOVUPD, VPERMILPD, VMULPD/VADDPD/VADDSUBPD on
+// ymm — deliberately no FMA, which would change rounding versus the scalar
+// Go kernels. Complexes are packed (re, im); VPERMILPD $0x5 swaps each
+// (re, im) pair in lane, and VADDSUBPD's subtract-even/add-odd pattern is
+// exactly the complex-multiply combine (ar·br − ai·bi, ar·bi + ai·br).
+
+#include "textflag.h"
+
+// func synthTabAVX(tab *complex128, n int, s4r, s4i float64)
+//
+// Continues tab[i] = tab[i-4]·s4 for i in [4, n), n a multiple of 4: two
+// ymm chains (two complexes each) carry the last written group, so the four
+// scalar dependency chains of the strided recurrence advance in two
+// registers per iteration.
+TEXT ·synthTabAVX(SB), NOSPLIT, $0-32
+	MOVQ tab+0(FP), DI
+	MOVQ n+8(FP), DX
+	VBROADCASTSD s4r+16(FP), Y6
+	VBROADCASTSD s4i+24(FP), Y7
+
+	SHLQ $4, DX         // byte limit: n complexes
+	MOVQ $64, CX        // write cursor, starting at element 4
+	CMPQ CX, DX
+	JGE  done
+
+	VMOVUPD 0(DI), Y0   // chain A: tab[0], tab[1]
+	VMOVUPD 32(DI), Y1  // chain B: tab[2], tab[3]
+
+loop:
+	VPERMILPD $0x5, Y0, Y2  // (i, r) swap of A
+	VMULPD    Y6, Y0, Y3    // s4r·A
+	VMULPD    Y7, Y2, Y2    // s4i·swap(A)
+	VADDSUBPD Y2, Y3, Y0    // (s4r·r − s4i·i, s4r·i + s4i·r)
+	VMOVUPD   Y0, (DI)(CX*1)
+
+	VPERMILPD $0x5, Y1, Y4
+	VMULPD    Y6, Y1, Y5
+	VMULPD    Y7, Y4, Y4
+	VADDSUBPD Y4, Y5, Y1
+	VMOVUPD   Y1, 32(DI)(CX*1)
+
+	ADDQ $64, CX
+	CMPQ CX, DX
+	JLT  loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func synthMacAVX(row, tab *complex128, n int, cr, ci float64)
+//
+// row[i] += (cr, ci)·tab[i] for i in [0, n), n a multiple of 4, four
+// complexes (two ymm) per iteration.
+TEXT ·synthMacAVX(SB), NOSPLIT, $0-40
+	MOVQ row+0(FP), DI
+	MOVQ tab+8(FP), SI
+	MOVQ n+16(FP), DX
+	VBROADCASTSD cr+24(FP), Y6
+	VBROADCASTSD ci+32(FP), Y7
+
+	SHLQ  $4, DX
+	XORQ  CX, CX
+	TESTQ DX, DX
+	JE    done
+
+loop:
+	VMOVUPD   (SI)(CX*1), Y0
+	VMOVUPD   32(SI)(CX*1), Y1
+	VPERMILPD $0x5, Y0, Y2
+	VPERMILPD $0x5, Y1, Y3
+	VMULPD    Y6, Y0, Y0    // cr·t
+	VMULPD    Y6, Y1, Y1
+	VMULPD    Y7, Y2, Y2    // ci·swap(t)
+	VMULPD    Y7, Y3, Y3
+	VADDSUBPD Y2, Y0, Y0    // (cr·tr − ci·ti, cr·ti + ci·tr)
+	VADDSUBPD Y3, Y1, Y1
+	VMOVUPD   (DI)(CX*1), Y4
+	VMOVUPD   32(DI)(CX*1), Y5
+	VADDPD    Y0, Y4, Y4    // row + contribution
+	VADDPD    Y1, Y5, Y5
+	VMOVUPD   Y4, (DI)(CX*1)
+	VMOVUPD   Y5, 32(DI)(CX*1)
+	ADDQ      $64, CX
+	CMPQ      CX, DX
+	JLT       loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func synthCPUHasAVX() bool
+//
+// CPUID leaf 1: ECX bit 27 = OSXSAVE, bit 28 = AVX; then XGETBV(0) bits
+// 1 and 2 confirm the OS saves/restores xmm+ymm state.
+TEXT ·synthCPUHasAVX(SB), NOSPLIT, $0-1
+	MOVQ $1, AX
+	CPUID
+	MOVL CX, BX
+	ANDL $0x18000000, BX
+	CMPL BX, $0x18000000
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package fmcw
+
+// useSynthAVX is always false off amd64: synthesis runs the portable scalar
+// kernels.
+var useSynthAVX = false
+
+// synthTabAVX is unreachable off amd64 (useSynthAVX is never set); the stub
+// keeps the package compiling without per-architecture dispatch at the call
+// sites.
+func synthTabAVX(tab *complex128, n int, s4r, s4i float64) {
+	panic("fmcw: synthTabAVX without AVX support")
+}
+
+// synthMacAVX is unreachable off amd64; see synthTabAVX.
+func synthMacAVX(row, tab *complex128, n int, cr, ci float64) {
+	panic("fmcw: synthMacAVX without AVX support")
+}

@@ -18,13 +18,21 @@ type Kalman struct {
 
 // NewKalman initializes a filter at position p with diffuse velocity.
 func NewKalman(p geom.Point, processNoise, measurementNoise float64) *Kalman {
-	k := &Kalman{Q: processNoise, R: measurementNoise}
+	k := &Kalman{}
+	k.Reinit(p, processNoise, measurementNoise)
+	return k
+}
+
+// Reinit resets the filter in place to the state NewKalman would build — the
+// re-initialization used when a recycled track spawns, so track recycling
+// reuses the filter storage without allocating.
+func (k *Kalman) Reinit(p geom.Point, processNoise, measurementNoise float64) {
+	*k = Kalman{Q: processNoise, R: measurementNoise}
 	k.X = [4]float64{p.X, p.Y, 0, 0}
 	for i := 0; i < 4; i++ {
 		k.P[i][i] = 1
 	}
 	k.P[2][2], k.P[3][3] = 4, 4 // diffuse initial velocity
-	return k
 }
 
 // Predict advances the state by dt seconds.

@@ -44,7 +44,10 @@ type Track struct {
 	// test Doppler-vs-trajectory consistency.
 	VelHist []TimedVelocity
 
-	kf       *Kalman
+	// kf is embedded by value: spawning a track costs one allocation (the
+	// Track itself), and a recycled Track reuses the filter storage in place
+	// via Kalman.Reinit.
+	kf       Kalman
 	hits     int
 	misses   int
 	lastTime float64
@@ -110,9 +113,14 @@ func DefaultTrackerConfig() TrackerConfig {
 // gating over Kalman predictions.
 //
 // The association scratch (candidate pairs, used-flags, the survivor list)
-// is owned by the tracker and reused across Observe calls, so a warmed-up
-// Observe allocates only when a new track spawns or a track's point history
-// grows past its capacity. A Tracker is not safe for concurrent use.
+// is owned by the tracker and reused across Observe calls, and dropped
+// tracks that could never appear in Tracks() output — unconfirmed or
+// shorter than MinTrackPoints — go to a free list instead of the done
+// archive and are reused by later spawns (Kalman state reinitialized in
+// place, point history capacity retained). A warmed-up Observe under churn
+// therefore allocates nothing: spawns draw from the free list, and only
+// tracks that survive to confirmation can still grow. A Tracker is not
+// safe for concurrent use.
 type Tracker struct {
 	cfg    TrackerConfig
 	nextID int
@@ -123,6 +131,7 @@ type Tracker struct {
 	usedTrack  []bool
 	usedDet    []bool
 	aliveSpare []*Track
+	spare      []*Track // recycled tracks awaiting respawn
 }
 
 // assocPair is one gated (track, detection) association candidate.
@@ -227,7 +236,13 @@ func (tr *Tracker) Observe(t float64, detections []Detection) {
 		}
 	}
 	// Unmatched tracks miss. The survivor list double-buffers against the
-	// previous active backing so the filter allocates nothing.
+	// previous active backing so the filter allocates nothing. Dropped
+	// tracks split two ways: ones Tracks() could still report (confirmed
+	// with enough points) are archived in done; the rest — transient
+	// clutter hypotheses, the overwhelming majority under churn — are
+	// recycled. Recycling is safe because no dropped-and-ineligible track
+	// is ever returned by Tracks(), and the per-frame observers
+	// (ForEachActive, AttachVelocities) only see active tracks.
 	alive := tr.aliveSpare[:0]
 	for ti, trk := range tr.active {
 		if usedTrack[ti] {
@@ -236,29 +251,51 @@ func (tr *Tracker) Observe(t float64, detections []Detection) {
 		}
 		trk.misses++
 		trk.lastTime = t
-		if trk.misses > tr.cfg.MaxMisses {
-			tr.done = append(tr.done, trk)
-		} else {
+		switch {
+		case trk.misses <= tr.cfg.MaxMisses:
 			alive = append(alive, trk)
+		case trk.Confirmed && len(trk.Points) >= tr.cfg.MinTrackPoints:
+			tr.done = append(tr.done, trk)
+		default:
+			tr.spare = append(tr.spare, trk)
 		}
 	}
 	tr.aliveSpare = tr.active[:0]
 	tr.active = alive
-	// Unmatched detections spawn tracks.
+	// Unmatched detections spawn tracks, reusing recycled storage when the
+	// free list has any.
 	for di, det := range detections {
 		if usedDet[di] {
 			continue
 		}
-		trk := &Track{
-			ID:       tr.nextID,
-			kf:       NewKalman(det.Pos, tr.cfg.ProcessNoise, tr.cfg.MeasNoise),
-			hits:     1,
-			lastTime: t,
-		}
+		trk := tr.newTrack()
+		trk.ID = tr.nextID
+		trk.kf.Reinit(det.Pos, tr.cfg.ProcessNoise, tr.cfg.MeasNoise)
+		trk.hits = 1
+		trk.lastTime = t
 		tr.nextID++
 		trk.Points = append(trk.Points, TimedPoint{Time: t, Pos: det.Pos})
 		tr.active = append(tr.active, trk)
 	}
+}
+
+// newTrack pops a recycled track (history cleared, capacity kept) or
+// allocates a fresh one. The caller stamps ID, filter state, and the first
+// point.
+func (tr *Tracker) newTrack() *Track {
+	if n := len(tr.spare); n > 0 {
+		trk := tr.spare[n-1]
+		tr.spare[n-1] = nil
+		tr.spare = tr.spare[:n-1]
+		trk.Points = trk.Points[:0]
+		trk.VelHist = trk.VelHist[:0]
+		trk.Confirmed = false
+		trk.RadialVelocity = 0
+		trk.HasVelocity = false
+		trk.misses = 0
+		return trk
+	}
+	return &Track{}
 }
 
 // AttachVelocities stamps every active track with the radial velocity of

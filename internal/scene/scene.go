@@ -39,6 +39,10 @@ type Scene struct {
 	// pool, when set with UseFramePool, supplies recycled storage for every
 	// frame the scene synthesizes.
 	pool *fmcw.FramePool
+	// plan, when set with UseSynthPlan, is the compiled synthesis plan every
+	// capture path runs through; nil means compile (or fetch the shared plan
+	// for Params) on first use.
+	plan *fmcw.SynthPlan
 }
 
 // UseFramePool routes every capture path — FrameAt, FrameAtCtx,
@@ -51,6 +55,26 @@ type Scene struct {
 func (s *Scene) UseFramePool(pool *fmcw.FramePool) *Scene {
 	s.pool = pool
 	return s
+}
+
+// UseSynthPlan routes every capture path through the given pre-compiled
+// synthesis plan, which must be compiled for the scene's Params. Frames are
+// bit-identical for any plan of the right shape — plans are stateless apart
+// from their warmed executor free lists — so sharing one plan across many
+// scenes of one shape (as the service's room manager does) costs nothing but
+// saves each scene its own phasor-table scratch. It returns s for chaining.
+func (s *Scene) UseSynthPlan(pl *fmcw.SynthPlan) *Scene {
+	s.plan = pl
+	return s
+}
+
+// synthPlan returns the scene's synthesis plan, fetching the process-wide
+// shared plan for Params on first use (or after Params changed shape).
+func (s *Scene) synthPlan() *fmcw.SynthPlan {
+	if s.plan == nil || s.plan.Params() != s.Params {
+		s.plan = fmcw.PlanSynth(s.Params)
+	}
+	return s.plan
 }
 
 // NewScene assembles a scene with the radar mounted at the middle of the
@@ -155,15 +179,20 @@ func (s *Scene) FrameAtCtx(ctx context.Context, t float64, rng *rand.Rand) (*fmc
 	if rng != nil && s.Room.Speckle > 0 {
 		returns = s.appendSpeckle(returns, rng)
 	}
+	pl := s.synthPlan()
 	if s.pool != nil {
 		f := s.pool.Get(t)
-		if err := fmcw.SynthesizeInto(ctx, f, returns, rng, 0); err != nil {
+		if err := pl.SynthesizeInto(ctx, f, returns, rng, 0); err != nil {
 			s.pool.Put(f) // partially written: zero and recycle
 			return nil, err
 		}
 		return f, nil
 	}
-	return fmcw.SynthesizeCtx(ctx, s.Params, returns, t, rng, 0)
+	f := fmcw.NewFrame(s.Params, t)
+	if err := pl.SynthesizeInto(ctx, f, returns, rng, 0); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // appendSpeckle appends one weak companion per return: a diffuse bounce
@@ -246,6 +275,7 @@ type FrameStream struct {
 	i       int
 	rng     *rand.Rand
 	pool    *fmcw.FramePool
+	plan    *fmcw.SynthPlan
 	workers int
 	rets    []fmcw.Return // per-frame returns scratch, reused across Next calls
 }
@@ -257,7 +287,7 @@ type FrameStream struct {
 // until the consumer stops). A scene configured with UseFramePool passes
 // its pool to the stream; FrameStream.UsePool overrides it per stream.
 func (s *Scene) Stream(t0 float64, n int, rng *rand.Rand) *FrameStream {
-	return &FrameStream{scene: s, t0: t0, dt: 1 / s.Params.FrameRate, n: n, rng: rng, pool: s.pool}
+	return &FrameStream{scene: s, t0: t0, dt: 1 / s.Params.FrameRate, n: n, rng: rng, pool: s.pool, plan: s.synthPlan()}
 }
 
 // UsePool makes the stream synthesize every frame into storage from the
@@ -269,6 +299,15 @@ func (s *Scene) Stream(t0 float64, n int, rng *rand.Rand) *FrameStream {
 // chaining.
 func (st *FrameStream) UsePool(pool *fmcw.FramePool) *FrameStream {
 	st.pool = pool
+	return st
+}
+
+// UseSynthPlan makes the stream synthesize through the given pre-compiled
+// plan (which must match the scene's Params) instead of the one the scene
+// resolved at Stream time. Frames are bit-identical for any plan of the
+// right shape. It returns st for chaining.
+func (st *FrameStream) UseSynthPlan(pl *fmcw.SynthPlan) *FrameStream {
+	st.plan = pl
 	return st
 }
 
@@ -302,16 +341,14 @@ func (st *FrameStream) Next(ctx context.Context) (*fmcw.Frame, error) {
 	var f *fmcw.Frame
 	if st.pool != nil {
 		f = st.pool.Get(t)
-		if err := fmcw.SynthesizeInto(ctx, f, st.rets, st.rng, st.workers); err != nil {
-			st.pool.Put(f) // partially written: zero and recycle
-			return nil, err
-		}
 	} else {
-		var err error
-		f, err = fmcw.SynthesizeCtx(ctx, sc.Params, st.rets, t, st.rng, st.workers)
-		if err != nil {
-			return nil, err
+		f = fmcw.NewFrame(sc.Params, t)
+	}
+	if err := st.plan.SynthesizeInto(ctx, f, st.rets, st.rng, st.workers); err != nil {
+		if st.pool != nil {
+			st.pool.Put(f) // partially written: zero and recycle
 		}
+		return nil, err
 	}
 	st.i++
 	return f, nil

@@ -20,18 +20,23 @@ type planKey struct {
 	params fmcw.Params
 }
 
-// planCache shares compiled radar.FrontEndPlans across rooms: every room
-// with the same (config, params) shape reuses one plan — steering tables,
-// windows, and warmed executor free lists included — so an N-room daemon
-// compiles each shape once instead of once per room.
+// planCache shares compiled plans across rooms — radar.FrontEndPlans for the
+// processing side and fmcw.SynthPlans for the synthesis side: every room with
+// the same shape reuses one plan of each kind — steering tables, windows,
+// phasor-table scratch, and warmed executor free lists included — so an
+// N-room daemon compiles each shape once instead of once per room.
 type planCache struct {
 	//rfvet:lockrank 30
 	mu    sync.Mutex
 	plans map[planKey]*radar.FrontEndPlan
+	synth map[fmcw.Params]*fmcw.SynthPlan
 }
 
 func newPlanCache() *planCache {
-	return &planCache{plans: make(map[planKey]*radar.FrontEndPlan)}
+	return &planCache{
+		plans: make(map[planKey]*radar.FrontEndPlan),
+		synth: make(map[fmcw.Params]*fmcw.SynthPlan),
+	}
 }
 
 // get returns the shared plan for the shape, compiling it on first use. The
@@ -45,6 +50,20 @@ func (c *planCache) get(cfg radar.Config, p fmcw.Params) *radar.FrontEndPlan {
 	if pl == nil {
 		pl = radar.CompileFrontEndPlan(cfg, p)
 		c.plans[key] = pl
+	}
+	c.mu.Unlock()
+	return pl
+}
+
+// getSynth is get for synthesis plans: rooms simulating one frame shape share
+// one fmcw.SynthPlan (keyed by Params alone — synthesis is independent of the
+// processing config), compiled under the cache lock on first use.
+func (c *planCache) getSynth(p fmcw.Params) *fmcw.SynthPlan {
+	c.mu.Lock()
+	pl := c.synth[p]
+	if pl == nil {
+		pl = fmcw.CompileSynthPlan(p)
+		c.synth[p] = pl
 	}
 	c.mu.Unlock()
 	return pl

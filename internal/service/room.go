@@ -146,6 +146,7 @@ func newRoom(cfg RoomConfig, shardIdx int, sh *shard, plans *planCache) (*Room, 
 	}
 
 	plan := plans.get(radar.DefaultConfig(), sc.Params)
+	sc.UseSynthPlan(plans.getSynth(sc.Params))
 	r.pools = pipeline.NewPools(sc.Params)
 	stages := pipeline.FrontEndStagesPlanned(plan, sc.Radar, r.pools)
 	if cfg.DopplerWindow > 0 {
